@@ -1,0 +1,120 @@
+package repro_test
+
+// The benchmark harness: one benchmark per table and figure in the paper.
+// Each benchmark rebuilds the corresponding simulated testbed, runs the
+// workload, and prints the reproduced rows (once) in the paper's shape.
+//
+//	go test -bench=. -benchtime=1x .
+//
+// Benchmarks report two custom metrics where meaningful: the experiment's
+// headline ratio and the virtual bytes moved.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run()
+		if _, printed := printOnce.LoadOrStore(id, true); !printed {
+			b.StopTimer()
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFig2_L5POverheads regenerates Figure 2: the cycles per message
+// NVMe-TCP and TLS spend, and the compute-bound share a NIC could absorb.
+func BenchmarkFig2_L5POverheads(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkTable1_AcceleratorComparison regenerates Table 1: AES-NI versus
+// a QAT-style off-path accelerator at 1 and 128 threads.
+func BenchmarkTable1_AcceleratorComparison(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkFig3_LinuxLoC prints Figure 3's dataset: the Linux TCP/IP
+// stack's size and yearly churn (the case against dependent offloads).
+func BenchmarkFig3_LinuxLoC(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4_NICPrices prints Figure 4 and Table 2: ConnectX prices
+// track speed and ports, not offload generation.
+func BenchmarkFig4_NICPrices(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig10_FioCycleBreakdown regenerates Figure 10: fio random-read
+// cycles per request against I/O depth, with the LLC-spill copy cliff.
+func BenchmarkFig10_FioCycleBreakdown(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11_TLSCycleBreakdown regenerates Figure 11: per-record
+// kernel-TLS cycles split into crypto and stack across record sizes.
+func BenchmarkFig11_TLSCycleBreakdown(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkSec61_TLSOffloadGains regenerates §6.1's headline single-core
+// iperf gains from the TLS offload (paper: 3.3x transmit, 2.2x receive).
+func BenchmarkSec61_TLSOffloadGains(b *testing.B) { runExperiment(b, "sec61") }
+
+// BenchmarkSec62_EmulationAccuracy regenerates §6.2's validation of the
+// emulation methodology (predicted vs actual offload, paper: ≤7%).
+func BenchmarkSec62_EmulationAccuracy(b *testing.B) { runExperiment(b, "sec62") }
+
+// BenchmarkFig12_NginxNVMeTCP regenerates Figure 12: nginx over an
+// NVMe-TCP-backed store (C1) with and without the copy+CRC offload.
+func BenchmarkFig12_NginxNVMeTCP(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13_NginxTLS regenerates Figure 13: nginx from the page cache
+// (C2) across https, offload, offload+zc, and http.
+func BenchmarkFig13_NginxTLS(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14_NginxNVMeTLS regenerates Figure 14: the combined NVMe-TLS
+// offload (storage over TLS, stacked engines, §5.3) under nginx.
+func BenchmarkFig14_NginxNVMeTLS(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15_RedisOnFlash regenerates Figure 15: Redis-on-Flash GETs
+// against the OffloadDB backend with the combined offload.
+func BenchmarkFig15_RedisOnFlash(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkTable4_Latency regenerates Table 4: single-request latency with
+// cumulatively enabled offloads (TLS, then copy, then CRC).
+func BenchmarkTable4_Latency(b *testing.B) { runExperiment(b, "tab4") }
+
+// BenchmarkFig16_SenderLoss regenerates Figure 16: sender-side loss sweep
+// and the PCIe cost of transmit context recovery.
+func BenchmarkFig16_SenderLoss(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17_ReceiverLoss regenerates Figure 17: receiver-side loss
+// sweep with the fully/partially/not-offloaded record classification.
+func BenchmarkFig17_ReceiverLoss(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkFig18_ReceiverReordering regenerates Figure 18: the receiver
+// reordering sweep.
+func BenchmarkFig18_ReceiverReordering(b *testing.B) { runExperiment(b, "fig18") }
+
+// BenchmarkFig19_Scalability regenerates Figure 19: connection counts far
+// past the NIC context cache (scaled 1:32).
+func BenchmarkFig19_Scalability(b *testing.B) { runExperiment(b, "fig19") }
+
+// BenchmarkAblationRecovery quantifies each piece of the receive-recovery
+// machinery (§4.3) by removing it: blind resumption, speculative resync,
+// and recovery altogether.
+func BenchmarkAblationRecovery(b *testing.B) { runExperiment(b, "abl-recovery") }
+
+// BenchmarkAblationMagic measures magic-pattern false-positive rates
+// (§3.3) for weaker and stronger header checks.
+func BenchmarkAblationMagic(b *testing.B) { runExperiment(b, "abl-magic") }
+
+// BenchmarkAblationRecordSize sweeps TLS record sizes to show where
+// per-record costs erase the offload's per-byte savings.
+func BenchmarkAblationRecordSize(b *testing.B) { runExperiment(b, "abl-recsize") }

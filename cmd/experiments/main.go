@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulated testbeds. With no arguments it runs everything in paper order;
+// pass experiment ids (e.g. `experiments fig13 tab4`) to run a subset, or
+// -list to enumerate them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if flag.NArg() == 0 {
+		todo = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		for _, t := range e.Run() {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Autonomous NIC
+// Offloads" (Pismenny et al., ASPLOS 2021): the offload architecture that
+// accelerates layer-5 protocols (TLS, NVMe-TCP) on the NIC without
+// migrating the TCP/IP stack into hardware.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmark harness in bench_test.go
+// regenerates every table and figure of the paper's evaluation:
+//
+//	go test -bench=. -benchtime=1x .
+package repro

@@ -1,0 +1,114 @@
+// Package accel models the accelerator comparison of the paper's Table 1:
+// on-CPU crypto instructions (AES-NI) versus an off-CPU, off-path
+// accelerator (Intel QAT) driven synchronously by one thread or overlapped
+// by many threads sharing a core.
+//
+// The point the table makes — and this model reproduces — is that an
+// off-path accelerator pays a per-request invocation latency that a
+// synchronous caller cannot hide, while massive threading recovers the
+// device's native bandwidth at the cost of re-engineering the application
+// (§2.3). NIC offloads avoid the dilemma because the data already flows
+// through the NIC.
+//
+// Constants are calibrated to Table 1's testbed (2.40 GHz Xeon E5-2620 v3,
+// OpenSSL speed, 16 KB blocks).
+package accel
+
+// Cipher selects the cipher suite of Table 1.
+type Cipher int
+
+// Table 1's two cipher suites.
+const (
+	// CBCHMACSHA1 is AES-128-CBC with HMAC-SHA1 authentication: AES-NI
+	// accelerates the CBC but not the SHA1.
+	CBCHMACSHA1 Cipher = iota
+	// GCM is AES-128-GCM: fully covered by AES-NI + PCLMUL.
+	GCM
+)
+
+// String names the cipher as the table does.
+func (c Cipher) String() string {
+	if c == CBCHMACSHA1 {
+		return "AES-128-CBC-HMAC-SHA1"
+	}
+	return "AES-128-GCM"
+}
+
+// Params holds the calibrated machine and device characteristics.
+type Params struct {
+	// CPUHz is the benchmark machine's core frequency.
+	CPUHz float64
+	// CBCPerByte and SHA1PerByte are the on-CPU costs of the CBC-HMAC
+	// suite's two passes (AES-NI accelerates only the former).
+	CBCPerByte  float64
+	SHA1PerByte float64
+	// GCMPerByte is the on-CPU AES-NI+PCLMUL cost.
+	GCMPerByte float64
+	// QATMBps is the accelerator's native bandwidth.
+	QATMBps float64
+	// QATLatency is the request round-trip latency in seconds (DMA down,
+	// device queue, DMA up) as seen by a synchronous caller.
+	QATLatency float64
+	// QATCPUCyclesPerReq is the host work to invoke the accelerator and
+	// retrieve results (the cost that remains even when overlapped).
+	QATCPUCyclesPerReq float64
+}
+
+// DefaultParams returns the Table 1 calibration.
+func DefaultParams() Params {
+	return Params{
+		CPUHz:              2.4e9,
+		CBCPerByte:         1.30,
+		SHA1PerByte:        2.15,
+		GCMPerByte:         0.76,
+		QATMBps:            3150,
+		QATLatency:         62e-6,
+		QATCPUCyclesPerReq: 4000,
+	}
+}
+
+// OnCPUMBps returns the single-thread AES-NI throughput for a cipher.
+func (p Params) OnCPUMBps(c Cipher) float64 {
+	var cpb float64
+	switch c {
+	case CBCHMACSHA1:
+		cpb = p.CBCPerByte + p.SHA1PerByte
+	case GCM:
+		cpb = p.GCMPerByte
+	}
+	return p.CPUHz / cpb / 1e6
+}
+
+// OffCPUMBps returns the QAT throughput for a cipher at the given block
+// size and thread count (threads share one core).
+//
+// One thread is synchronous: each block pays invocation CPU time, the
+// device round-trip latency, and the device transfer time back to back.
+// Many threads overlap the latency, leaving the smaller of the device's
+// native bandwidth and the core's invocation-rate limit. The cipher does
+// not matter to the device (it runs both at line rate) — which is exactly
+// the asymmetry Table 1 shows against AES-NI.
+func (p Params) OffCPUMBps(c Cipher, blockSize, threads int) float64 {
+	_ = c
+	cpuPerReq := p.QATCPUCyclesPerReq / p.CPUHz
+	service := float64(blockSize) / (p.QATMBps * 1e6)
+	if threads <= 1 {
+		perBlock := cpuPerReq + p.QATLatency + service
+		return float64(blockSize) / perBlock / 1e6
+	}
+	// Overlapped: bounded by device bandwidth and by the core's capacity
+	// to issue requests, whichever saturates first, with a mild efficiency
+	// loss from scheduling that many threads on one core.
+	inFlight := float64(threads)
+	deviceBound := p.QATMBps
+	// Little's law: the offered load until the pipe fills.
+	offered := inFlight * float64(blockSize) / (p.QATLatency + service) / 1e6
+	if offered < deviceBound {
+		deviceBound = offered
+	}
+	cpuBound := float64(blockSize) / cpuPerReq / 1e6
+	if cpuBound < deviceBound {
+		return cpuBound
+	}
+	return deviceBound
+}

@@ -1,0 +1,76 @@
+package accel
+
+import "testing"
+
+// Table 1's published numbers (MB/s).
+const (
+	paperQAT1CBC   = 249
+	paperQAT128CBC = 3144
+	paperAESNI1CBC = 695
+	paperQAT1GCM   = 249
+	paperQAT128GCM = 3109
+	paperAESNI1GCM = 3150
+	tableBlockSize = 16 << 10
+	tolerancePct   = 12
+)
+
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	lo := want * (1 - tolerancePct/100.0)
+	hi := want * (1 + tolerancePct/100.0)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.0f MB/s, want %v ±%d%%", name, got, want, tolerancePct)
+	}
+}
+
+func TestTable1Calibration(t *testing.T) {
+	p := DefaultParams()
+	within(t, "AES-NI CBC-HMAC", p.OnCPUMBps(CBCHMACSHA1), paperAESNI1CBC)
+	within(t, "AES-NI GCM", p.OnCPUMBps(GCM), paperAESNI1GCM)
+	within(t, "QAT 1-thread CBC-HMAC", p.OffCPUMBps(CBCHMACSHA1, tableBlockSize, 1), paperQAT1CBC)
+	within(t, "QAT 1-thread GCM", p.OffCPUMBps(GCM, tableBlockSize, 1), paperQAT1GCM)
+	within(t, "QAT 128-thread CBC-HMAC", p.OffCPUMBps(CBCHMACSHA1, tableBlockSize, 128), paperQAT128CBC)
+	within(t, "QAT 128-thread GCM", p.OffCPUMBps(GCM, tableBlockSize, 128), paperQAT128GCM)
+}
+
+func TestTable1Shape(t *testing.T) {
+	p := DefaultParams()
+	// The table's qualitative claims (§2.3):
+	// 1. Single-threaded QAT loses to AES-NI for both ciphers.
+	if p.OffCPUMBps(CBCHMACSHA1, tableBlockSize, 1) >= p.OnCPUMBps(CBCHMACSHA1) {
+		t.Error("sync QAT should lose to AES-NI (CBC-HMAC)")
+	}
+	if p.OffCPUMBps(GCM, tableBlockSize, 1) >= p.OnCPUMBps(GCM) {
+		t.Error("sync QAT should lose to AES-NI (GCM)")
+	}
+	// 2. 128-thread QAT beats AES-NI by ~4.5x for CBC-HMAC...
+	ratio := p.OffCPUMBps(CBCHMACSHA1, tableBlockSize, 128) / p.OnCPUMBps(CBCHMACSHA1)
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("QAT-128/AES-NI CBC-HMAC ratio %.1f, paper ≈4.5", ratio)
+	}
+	// 3. ...but only matches AES-NI for GCM.
+	ratio = p.OffCPUMBps(GCM, tableBlockSize, 128) / p.OnCPUMBps(GCM)
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("QAT-128/AES-NI GCM ratio %.2f, paper ≈1.0", ratio)
+	}
+	// 4. Sync QAT is ~12.5x slower than AES-NI GCM.
+	ratio = p.OnCPUMBps(GCM) / p.OffCPUMBps(GCM, tableBlockSize, 1)
+	if ratio < 9 || ratio > 16 {
+		t.Errorf("AES-NI/sync-QAT GCM ratio %.1f, paper ≈12.5", ratio)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		got := p.OffCPUMBps(GCM, tableBlockSize, n)
+		if got < prev {
+			t.Errorf("throughput decreased at %d threads: %.0f < %.0f", n, got, prev)
+		}
+		prev = got
+	}
+	if prev > p.QATMBps*1.01 {
+		t.Errorf("throughput %.0f exceeds device bandwidth %.0f", prev, p.QATMBps)
+	}
+}

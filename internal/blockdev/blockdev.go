@@ -1,0 +1,144 @@
+// Package blockdev simulates the remote NVMe SSD of the paper's testbed
+// (an Optane DC P4800X living on the workload-generator machine): an
+// in-memory block store with a service-latency and bandwidth envelope, plus
+// the host-side block-layer buffers that NVMe-TCP reads complete into.
+//
+// Content is deterministic: unwritten blocks are filled with a pattern
+// derived from their LBA, so multi-megabyte "disks" cost no memory until
+// written and reads are reproducible across runs.
+package blockdev
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// BlockSize is the device's logical block size.
+const BlockSize = 4096
+
+// Config sets the device's performance envelope.
+type Config struct {
+	// Latency is the per-request service latency.
+	Latency time.Duration
+	// GBps caps the device's data bandwidth; 0 means uncapped.
+	GBps float64
+	// QueueDepth bounds concurrently-serviced requests; 0 means unbounded.
+	QueueDepth int
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+// Device is the simulated SSD.
+type Device struct {
+	sim      *netsim.Simulator
+	cfg      Config
+	written  map[uint64][]byte // sparse overlay of written blocks
+	nextFree time.Duration     // bandwidth serialization point
+	inFlight int
+	waiting  []func()
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats Stats
+}
+
+// New creates a device.
+func New(sim *netsim.Simulator, cfg Config) *Device {
+	return &Device{sim: sim, cfg: cfg, written: make(map[uint64][]byte)}
+}
+
+// Pattern fills dst with the deterministic content of the block at lba
+// starting at byte offset off within the block.
+func Pattern(lba uint64, off int, dst []byte) {
+	var seed [8]byte
+	for i := range dst {
+		pos := off + i
+		if pos%8 == 0 || i == 0 {
+			binary.LittleEndian.PutUint64(seed[:], (lba*0x9E3779B97F4A7C15)^uint64(pos/8)*0xBF58476D1CE4E5B9)
+		}
+		dst[i] = seed[(pos)%8]
+	}
+}
+
+// BlockContent returns the current content of a block.
+func (d *Device) BlockContent(lba uint64) []byte {
+	if b, ok := d.written[lba]; ok {
+		return b
+	}
+	b := make([]byte, BlockSize)
+	Pattern(lba, 0, b)
+	return b
+}
+
+// Read fetches blocks [lba, lba+count) and calls done with the data when
+// the simulated device completes the request.
+func (d *Device) Read(lba uint64, count int, done func(data []byte)) {
+	d.submit(count*BlockSize, func() {
+		d.Stats.Reads++
+		d.Stats.BytesRead += uint64(count * BlockSize)
+		out := make([]byte, 0, count*BlockSize)
+		for i := 0; i < count; i++ {
+			out = append(out, d.BlockContent(lba+uint64(i))...)
+		}
+		done(out)
+	})
+}
+
+// Write stores data (a multiple of BlockSize) at lba and calls done when
+// the device completes.
+func (d *Device) Write(lba uint64, data []byte, done func()) {
+	if len(data)%BlockSize != 0 {
+		panic("blockdev: unaligned write")
+	}
+	d.submit(len(data), func() {
+		d.Stats.Writes++
+		d.Stats.BytesWrite += uint64(len(data))
+		for i := 0; i*BlockSize < len(data); i++ {
+			blk := make([]byte, BlockSize)
+			copy(blk, data[i*BlockSize:])
+			d.written[lba+uint64(i)] = blk
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// submit schedules completion after the latency plus the bandwidth-limited
+// transfer time, honoring the queue-depth bound.
+func (d *Device) submit(bytes int, complete func()) {
+	start := func() {
+		d.inFlight++
+		now := d.sim.Now()
+		svcStart := now
+		if d.nextFree > svcStart {
+			svcStart = d.nextFree
+		}
+		var xfer time.Duration
+		if d.cfg.GBps > 0 {
+			xfer = time.Duration(float64(bytes) / (d.cfg.GBps * 1e9) * float64(time.Second))
+		}
+		d.nextFree = svcStart + xfer
+		d.sim.At(svcStart+xfer+d.cfg.Latency, func() {
+			d.inFlight--
+			complete()
+			if len(d.waiting) > 0 && (d.cfg.QueueDepth <= 0 || d.inFlight < d.cfg.QueueDepth) {
+				next := d.waiting[0]
+				d.waiting = d.waiting[1:]
+				next()
+			}
+		})
+	}
+	if d.cfg.QueueDepth > 0 && d.inFlight >= d.cfg.QueueDepth {
+		d.waiting = append(d.waiting, start)
+		return
+	}
+	start()
+}

@@ -1,0 +1,126 @@
+// Package dpi implements the deep-packet-inspection offload the paper
+// sketches in §7 ("Pattern matching"): fixed-string patterns are matched
+// inside L5P messages — never across them — with the per-flow NIC context
+// carrying the automaton state between packets, and DPI software falling
+// back for messages the NIC did not fully scan.
+//
+// The matcher is an Aho–Corasick automaton built from scratch: its state
+// is a single integer, which is exactly the constant-size dynamic context
+// (§3.2) an autonomous offload needs to resume matching at any byte
+// boundary of a message.
+package dpi
+
+import "sort"
+
+// Automaton is an Aho–Corasick multi-pattern matcher over bytes.
+// Construction is O(total pattern bytes × alphabet); matching advances one
+// deterministic transition per input byte.
+type Automaton struct {
+	patterns [][]byte
+	next     [][256]int32 // dense goto-with-failure transitions
+	outputs  [][]int32    // pattern ids completing at each state
+}
+
+// NewAutomaton compiles the patterns. Empty patterns are ignored.
+// Pattern ids are their indices in the input slice.
+func NewAutomaton(patterns [][]byte) *Automaton {
+	a := &Automaton{}
+	for _, p := range patterns {
+		a.patterns = append(a.patterns, append([]byte(nil), p...))
+	}
+
+	// Trie construction.
+	a.addState()          // root
+	raw := [][256]int32{} // raw goto (0 where absent, except root loops)
+	raw = append(raw, [256]int32{})
+	for id, p := range a.patterns {
+		if len(p) == 0 {
+			continue
+		}
+		cur := int32(0)
+		for _, b := range p {
+			nxt := raw[cur][b]
+			if nxt == 0 {
+				nxt = a.addState()
+				for int(nxt) >= len(raw) {
+					raw = append(raw, [256]int32{})
+				}
+				raw[cur][b] = nxt
+			}
+			cur = nxt
+		}
+		a.outputs[cur] = append(a.outputs[cur], int32(id))
+	}
+
+	// BFS failure links, folding them into dense transitions.
+	fail := make([]int32, len(a.next))
+	queue := make([]int32, 0, len(a.next))
+	for b := 0; b < 256; b++ {
+		if s := raw[0][b]; s != 0 {
+			fail[s] = 0
+			queue = append(queue, s)
+		}
+		a.next[0][b] = raw[0][b] // missing root edges stay at root (0)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		a.outputs[s] = append(a.outputs[s], a.outputs[fail[s]]...)
+		for b := 0; b < 256; b++ {
+			t := raw[s][b]
+			if t != 0 {
+				fail[t] = a.next[fail[s]][b]
+				queue = append(queue, t)
+				a.next[s][b] = t
+			} else {
+				a.next[s][b] = a.next[fail[s]][b]
+			}
+		}
+	}
+	for s := range a.outputs {
+		sort.Slice(a.outputs[s], func(i, j int) bool {
+			return a.outputs[s][i] < a.outputs[s][j]
+		})
+	}
+	return a
+}
+
+func (a *Automaton) addState() int32 {
+	a.next = append(a.next, [256]int32{})
+	a.outputs = append(a.outputs, nil)
+	return int32(len(a.next) - 1)
+}
+
+// Patterns returns the compiled pattern count.
+func (a *Automaton) Patterns() int { return len(a.patterns) }
+
+// Match is one pattern occurrence: the pattern id and the offset of its
+// last byte within the scanned message.
+type Match struct {
+	Pattern int
+	End     int
+}
+
+// State is the automaton's constant-size matching state: start a message
+// with zero, feed bytes, carry it across packets.
+type State int32
+
+// Step advances the state over data starting at byte offset off within the
+// message, appending any completed matches. It returns the new state.
+func (a *Automaton) Step(s State, data []byte, off int, out *[]Match) State {
+	cur := int32(s)
+	for i, b := range data {
+		cur = a.next[cur][b]
+		for _, id := range a.outputs[cur] {
+			*out = append(*out, Match{Pattern: int(id), End: off + i})
+		}
+	}
+	return State(cur)
+}
+
+// Scan matches a whole message in one call (the software path).
+func (a *Automaton) Scan(data []byte) []Match {
+	var out []Match
+	a.Step(0, data, 0, &out)
+	return out
+}

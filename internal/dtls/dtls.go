@@ -1,0 +1,191 @@
+// Package dtls implements the paper's §7 contrast case: a DTLS-style
+// datagram crypto offload over UDP. Each record is entirely contained in
+// one datagram and carries its own sequence number, so the NIC never loses
+// its place — there is no expected-sequence context, no resynchronization,
+// and no software confirmation protocol. The paper points out that this
+// case is trivial ("does not merit an academic publication"); it is here
+// to make the TCP machinery's necessity concrete, and because the package
+// doubles as a minimal UDP substrate.
+//
+// Record format: epoch(2) | seq(6) | length(2) | ciphertext | tag(16),
+// nonce = IV XOR (epoch||seq), AAD = the 10-byte header.
+package dtls
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/gcm"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Record format constants.
+const (
+	// HeaderLen is the datagram record header size.
+	HeaderLen = 10
+	// TagLen is the AES-GCM tag size.
+	TagLen = gcm.TagSize
+	// MaxPayload bounds one record's plaintext (fits a 1500-byte MTU).
+	MaxPayload = 1400
+)
+
+// Peer is one end of a DTLS association over the simulated link: it binds
+// a UDP port, encrypts outgoing datagrams, and decrypts incoming ones —
+// in software or on its NIC.
+type Peer struct {
+	sim    *netsim.Simulator
+	model  *cycles.Model
+	ledger *cycles.Ledger
+	send   func(frame []byte)
+	local  wire.Addr
+
+	cipher  *gcm.Cipher
+	txIV    [gcm.NonceSize]byte
+	rxIV    [gcm.NonceSize]byte
+	txSeq   uint64
+	offload bool
+
+	// OnMessage receives decrypted datagram payloads.
+	OnMessage func(payload []byte)
+
+	// Stats counts datagram outcomes.
+	Stats Stats
+}
+
+// Stats counts per-peer events.
+type Stats struct {
+	Sent         uint64
+	Received     uint64
+	NICDecrypted uint64
+	SwDecrypted  uint64
+	AuthFailures uint64
+}
+
+// Config parameterizes a peer.
+type Config struct {
+	Key        []byte
+	TxIV, RxIV [gcm.NonceSize]byte
+	Local      wire.Addr
+	// Offload performs the crypto on the peer's NIC (charged to the NIC
+	// ledger component) instead of the host.
+	Offload bool
+}
+
+// NewPeer creates a peer; send transmits frames onto the link.
+func NewPeer(sim *netsim.Simulator, model *cycles.Model, ledger *cycles.Ledger,
+	send func([]byte), cfg Config) (*Peer, error) {
+	c, err := gcm.NewCached(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("dtls: %w", err)
+	}
+	return &Peer{
+		sim: sim, model: model, ledger: ledger, send: send,
+		local: cfg.Local, cipher: c, txIV: cfg.TxIV, rxIV: cfg.RxIV,
+		offload: cfg.Offload,
+	}, nil
+}
+
+func nonceFor(iv [gcm.NonceSize]byte, epoch uint16, seq uint64) [gcm.NonceSize]byte {
+	var n [gcm.NonceSize]byte
+	copy(n[:], iv[:])
+	var s [8]byte
+	binary.BigEndian.PutUint16(s[0:2], epoch)
+	putUint48(s[2:8], seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= s[i]
+	}
+	return n
+}
+
+// Send encrypts payload into one record datagram and transmits it to
+// remote. Unlike the TCP offloads there is no dummy-field trick: with or
+// without offload the record is fully formed before it leaves — only who
+// runs the cipher changes.
+func (p *Peer) Send(remote wire.Addr, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("dtls: payload %d exceeds %d", len(payload), MaxPayload)
+	}
+	p.Stats.Sent++
+	rec := make([]byte, HeaderLen+len(payload)+TagLen)
+	const epoch = 1
+	binary.BigEndian.PutUint16(rec[0:2], epoch)
+	putUint48(rec[2:8], p.txSeq)
+	binary.BigEndian.PutUint16(rec[8:10], uint16(len(payload)+TagLen))
+
+	nonce := nonceFor(p.txIV, epoch, p.txSeq)
+	s := p.cipher.NewStream(gcm.Seal, nonce[:], rec[:HeaderLen])
+	s.Update(rec[HeaderLen:HeaderLen+len(payload)], payload)
+	tag := s.Tag()
+	copy(rec[HeaderLen+len(payload):], tag[:])
+	p.txSeq++
+
+	comp, op := cycles.HostL5P, cycles.Encrypt
+	if p.offload {
+		comp = cycles.NIC
+	}
+	p.ledger.Charge(comp, op, p.model.GCMCycles(len(payload)), len(payload))
+	p.ledger.Charge(cycles.HostL5P, cycles.L5PFraming, p.model.L5PPerMessage, 0)
+
+	d := &wire.Datagram{Flow: wire.FlowID{Src: p.local, Dst: remote}, Payload: rec}
+	p.send(d.Marshal())
+	return nil
+}
+
+// putUint48 writes the low 48 bits of v big-endian.
+func putUint48(dst []byte, v uint64) {
+	dst[0] = byte(v >> 40)
+	dst[1] = byte(v >> 32)
+	dst[2] = byte(v >> 24)
+	dst[3] = byte(v >> 16)
+	dst[4] = byte(v >> 8)
+	dst[5] = byte(v)
+}
+
+func uint48(b []byte) uint64 {
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+// DeliverFrame implements netsim.Endpoint: every datagram is
+// self-contained, so decryption needs no cross-packet state whatsoever —
+// loss and reordering cannot desynchronize anything (§7).
+func (p *Peer) DeliverFrame(frame []byte) {
+	d, err := wire.ParseUDP(frame)
+	if err != nil || d.Flow.Dst != p.local {
+		return
+	}
+	rec := d.Payload
+	if len(rec) < HeaderLen+TagLen {
+		return
+	}
+	epoch := binary.BigEndian.Uint16(rec[0:2])
+	seq := uint48(rec[2:8])
+	n := int(binary.BigEndian.Uint16(rec[8:10]))
+	if HeaderLen+n != len(rec) || n < TagLen {
+		return
+	}
+	body := rec[HeaderLen : len(rec)-TagLen]
+
+	nonce := nonceFor(p.rxIV, epoch, seq)
+	s := p.cipher.NewStream(gcm.Open, nonce[:], rec[:HeaderLen])
+	plain := make([]byte, len(body))
+	s.Update(plain, body)
+	comp := cycles.HostL5P
+	if p.offload {
+		comp = cycles.NIC
+		p.Stats.NICDecrypted++
+	} else {
+		p.Stats.SwDecrypted++
+	}
+	p.ledger.Charge(comp, cycles.Decrypt, p.model.GCMCycles(len(body)), len(body))
+	if !s.Verify(rec[len(rec)-TagLen:]) {
+		p.Stats.AuthFailures++
+		return
+	}
+	p.Stats.Received++
+	if p.OnMessage != nil {
+		p.OnMessage(plain)
+	}
+}

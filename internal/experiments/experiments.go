@@ -1,0 +1,119 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6) plus the motivation-section artifacts: it builds the
+// simulated testbeds, runs the workloads, converts the cycle ledgers into
+// the units the paper reports, and prints rows shaped like the originals.
+//
+// Numbers are not expected to match the paper absolutely — the substrate
+// is a simulator with a calibrated cost model — but the shapes are: who
+// wins, by roughly what factor, and where the crossovers fall. Each
+// experiment's test asserts those shape properties.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one reproduced artifact: a figure's series or a table's rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment couples an artifact id with the function that regenerates it.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() []*Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "L5P overheads (cycles per message)", Fig2},
+		{"tab1", "AES-NI vs QAT encryption bandwidth", Table1},
+		{"fig3", "Linux TCP/IP stack LoC per year", Fig3},
+		{"fig4", "ConnectX NIC prices and offload generations", Fig4},
+		{"fig10", "NVMe-TCP/fio cycles per random read", Fig10},
+		{"fig11", "Kernel-TLS/iperf per-record cycles", Fig11},
+		{"sec61", "TLS offload single-core gains (§6.1)", Sec61},
+		{"sec62", "Offload emulation accuracy (§6.2)", Sec62},
+		{"fig12", "Nginx with the NVMe-TCP offload (C1)", Fig12},
+		{"fig13", "Nginx with TLS offload variants (C2)", Fig13},
+		{"fig14", "Nginx with the combined NVMe-TLS offload (C1)", Fig14},
+		{"fig15", "Redis-on-Flash with the NVMe-TLS offload (C1)", Fig15},
+		{"tab4", "Single-request latency with cumulative offloads", Table4},
+		{"fig16", "Loss at the sender: throughput and PCIe overhead", Fig16},
+		{"fig17", "Loss at the receiver: throughput and record offloading", Fig17},
+		{"fig18", "Reordering at the receiver", Fig18},
+		{"fig19", "Scalability with connection count", Fig19},
+		{"abl-recovery", "Ablation: receive-recovery machinery", AblationRecovery},
+		{"abl-magic", "Ablation: magic-pattern strength", AblationMagic},
+		{"abl-recsize", "Ablation: offload gain vs record size", AblationRecordSize},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/nic"
+
+	"repro/internal/blockdev"
+	"repro/internal/cycles"
+	"repro/internal/httpsim"
+	"repro/internal/ktls"
+	"repro/internal/kvsim"
+	"repro/internal/offload"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// IperfMode selects the iperf variant: plain TCP, software TLS, or the
+// autonomous TLS offload (§6.1, §6.4).
+type IperfMode int
+
+// Iperf variants (the three curves of Figs. 16–18).
+const (
+	IperfTCP IperfMode = iota
+	IperfTLS
+	IperfTLSOffload
+)
+
+// String names the variant as the figures do.
+func (m IperfMode) String() string {
+	switch m {
+	case IperfTCP:
+		return "tcp"
+	case IperfTLS:
+		return "tls"
+	case IperfTLSOffload:
+		return "offload"
+	}
+	return "?"
+}
+
+// IperfResult is the outcome of one iperf run.
+type IperfResult struct {
+	// Bytes is application payload delivered at the receiver.
+	Bytes uint64
+	// Elapsed is the measured virtual-time window.
+	Elapsed time.Duration
+	// Snd and Rcv are the per-machine ledger deltas over the window.
+	Snd, Rcv *cycles.Ledger
+	// TLS aggregates the receiver-side record classification.
+	TLS ktls.Stats
+	// RxEngine aggregates receive-engine statistics across streams.
+	RxEngine offload.RxStats
+	// TxEngine aggregates transmit-engine statistics across streams.
+	TxEngine offload.TxStats
+	// Records is total records received (for percentage bases).
+	Records uint64
+}
+
+// RunIperf drives `streams` sender connections for dur of virtual time
+// after establishment and returns the measured window.
+func RunIperf(w *PairWorld, mode IperfMode, streams, msgSize, recordSize int, dur time.Duration) *IperfResult {
+	cliTLS, srvTLS := TLSKeys(recordSize)
+	res := &IperfResult{}
+	var rcvConns []*ktls.Conn
+	var sndConns []*ktls.Conn
+
+	w.Srv.Stack.Listen(5001, func(s *tcpip.Socket) {
+		if mode == IperfTCP {
+			s.OnReadable = func(s *tcpip.Socket) {
+				w.Srv.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+				for {
+					ch, ok := s.ReadChunk()
+					if !ok {
+						break
+					}
+					res.Bytes += uint64(len(ch.Data))
+				}
+			}
+			return
+		}
+		conn, err := ktls.NewConn(s, srvTLS)
+		if err != nil {
+			panic(err)
+		}
+		if mode == IperfTLSOffload {
+			if err := conn.EnableRxOffload(w.Srv.NIC); err != nil {
+				panic(err)
+			}
+		}
+		conn.OnPlain = func(pc ktls.PlainChunk) { res.Bytes += uint64(len(pc.Data)) }
+		conn.OnError = func(err error) { panic(err) }
+		rcvConns = append(rcvConns, conn)
+	})
+
+	msg := make([]byte, msgSize)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	for i := 0; i < streams; i++ {
+		w.Gen.Stack.Connect(wire.Addr{IP: w.Srv.Stack.IP(), Port: 5001}, func(s *tcpip.Socket) {
+			if mode == IperfTCP {
+				pump := func(s *tcpip.Socket) {
+					w.Gen.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+					for s.Write(msg) > 0 {
+					}
+				}
+				s.OnDrain = pump
+				pump(s)
+				return
+			}
+			conn, err := ktls.NewConn(s, cliTLS)
+			if err != nil {
+				panic(err)
+			}
+			if mode == IperfTLSOffload {
+				if err := conn.EnableTxOffload(w.Gen.NIC, false); err != nil {
+					panic(err)
+				}
+			}
+			sndConns = append(sndConns, conn)
+			pump := func(c *ktls.Conn) {
+				for c.Write(msg) > 0 {
+				}
+			}
+			conn.OnDrain = pump
+			pump(conn)
+		})
+	}
+
+	// Let connections establish and pipelines fill, then measure.
+	w.Sim.RunFor(3 * time.Millisecond)
+	res.Bytes = 0
+	var tlsBase ktls.Stats
+	for _, c := range rcvConns {
+		tlsBase.RecordsRx += c.Stats.RecordsRx
+		tlsBase.RxFullyOffloaded += c.Stats.RxFullyOffloaded
+		tlsBase.RxPartial += c.Stats.RxPartial
+		tlsBase.RxUnoffloaded += c.Stats.RxUnoffloaded
+		tlsBase.ReencryptBytes += c.Stats.ReencryptBytes
+	}
+	sndBefore := w.Gen.Ledger.Clone()
+	rcvBefore := w.Srv.Ledger.Clone()
+	start := w.Sim.Now()
+	w.Sim.RunFor(dur)
+	res.Elapsed = w.Sim.Now() - start
+	res.Snd = cycles.Diff(w.Gen.Ledger, sndBefore)
+	res.Rcv = cycles.Diff(w.Srv.Ledger, rcvBefore)
+	for _, c := range rcvConns {
+		st := c.Stats
+		res.TLS.RecordsRx += st.RecordsRx
+		res.TLS.RxFullyOffloaded += st.RxFullyOffloaded
+		res.TLS.RxPartial += st.RxPartial
+		res.TLS.RxUnoffloaded += st.RxUnoffloaded
+		res.TLS.ReencryptBytes += st.ReencryptBytes
+		if e := c.RxEngine(); e != nil {
+			addRxStats(&res.RxEngine, e.Stats)
+		}
+	}
+	res.TLS.RecordsRx -= tlsBase.RecordsRx
+	res.TLS.RxFullyOffloaded -= tlsBase.RxFullyOffloaded
+	res.TLS.RxPartial -= tlsBase.RxPartial
+	res.TLS.RxUnoffloaded -= tlsBase.RxUnoffloaded
+	res.TLS.ReencryptBytes -= tlsBase.ReencryptBytes
+	res.Records = res.TLS.RecordsRx
+	for _, c := range sndConns {
+		if e := c.TxEngine(); e != nil {
+			res.TxEngine.Recoveries += e.Stats.Recoveries
+			res.TxEngine.RecoveryDMABytes += e.Stats.RecoveryDMABytes
+			res.TxEngine.PktsProcessed += e.Stats.PktsProcessed
+		}
+	}
+	return res
+}
+
+func addRxStats(dst *offload.RxStats, s offload.RxStats) {
+	dst.PktsOffloaded += s.PktsOffloaded
+	dst.PktsBypassed += s.PktsBypassed
+	dst.PktsUnoffloaded += s.PktsUnoffloaded
+	dst.MsgsCompleted += s.MsgsCompleted
+	dst.MsgsFailed += s.MsgsFailed
+	dst.MsgsBlind += s.MsgsBlind
+	dst.Relocks += s.Relocks
+	dst.ResyncRequests += s.ResyncRequests
+	dst.ResyncConfirms += s.ResyncConfirms
+	dst.ResyncRejects += s.ResyncRejects
+	dst.TrackingAborts += s.TrackingAborts
+}
+
+// FioResult is the outcome of one fio-style run.
+type FioResult struct {
+	Requests uint64
+	Bytes    uint64
+	Elapsed  time.Duration
+	Ledger   *cycles.Ledger // server-machine delta
+}
+
+// RunFio keeps `depth` random reads of reqSize outstanding on the storage
+// world's host for dur of virtual time (Fig. 10's workload).
+func RunFio(w *StorageWorld, reqSize, depth int, dur time.Duration) *FioResult {
+	res := &FioResult{}
+	blocks := (reqSize + blockdev.BlockSize - 1) / blockdev.BlockSize
+	w.Host.WorkingSetBytes = depth * reqSize
+	rng := rand.New(rand.NewSource(7))
+	const region = 1 << 22 // LBAs to spread random reads over
+
+	var issue func()
+	issue = func() {
+		lba := uint64(rng.Intn(region)) * uint64(blocks)
+		buf := make([]byte, blocks*blockdev.BlockSize)
+		w.Srv.Ledger.Charge(cycles.HostApp, cycles.AppWork, w.Model.AppPerRequest, 0)
+		w.Srv.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+		w.Host.ReadBlocks(lba, blocks, buf, func(err error) {
+			if err != nil {
+				panic(err)
+			}
+			// Interrupt + completion + context switch back into fio.
+			w.Srv.Ledger.Charge(cycles.HostApp, cycles.AppWork, w.Model.FioPerIO, 0)
+			res.Requests++
+			res.Bytes += uint64(blocks * blockdev.BlockSize)
+			issue()
+		})
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+	w.Sim.RunFor(2 * time.Millisecond) // warm the pipeline
+	res.Requests, res.Bytes = 0, 0
+	before := w.Srv.Ledger.Clone()
+	start := w.Sim.Now()
+	w.Sim.RunFor(dur)
+	res.Elapsed = w.Sim.Now() - start
+	res.Ledger = cycles.Diff(w.Srv.Ledger, before)
+	return res
+}
+
+// HTTPResult is the outcome of one nginx/wrk run.
+type HTTPResult struct {
+	Bytes    uint64
+	Requests uint64
+	Elapsed  time.Duration
+	Srv      *cycles.Ledger // server-machine delta
+	AvgRTT   time.Duration
+}
+
+// RunHTTPC2 drives the page-cache configuration on a pair world.
+func RunHTTPC2(w *PairWorld, mode httpsim.Mode, conns, fileSize int, dur time.Duration) *HTTPResult {
+	_, srvTLS := TLSKeys(0)
+	httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
+		Mode:   mode,
+		TLSCfg: srvTLS,
+		Store:  httpsim.PageCacheStore{},
+		Dev:    w.Srv.NIC,
+	})
+	return driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+}
+
+// RunHTTPC1 drives the cold-cache configuration on a storage world (the
+// server fetches every file over NVMe-TCP).
+func RunHTTPC1(w *StorageWorld, mode httpsim.Mode, conns, fileSize int, dur time.Duration) *HTTPResult {
+	_, srvTLS := TLSKeys(0)
+	httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
+		Mode:   mode,
+		TLSCfg: srvTLS,
+		Store:  &httpsim.NVMeStore{Host: w.Host},
+		Dev:    w.Srv.NIC,
+	})
+	return driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+}
+
+func driveHTTP(sim interface {
+	RunFor(time.Duration)
+	Now() time.Duration
+}, model *cycles.Model, gen, srv *Machine, mode httpsim.Mode, conns, fileSize int, dur time.Duration) *HTTPResult {
+	cliTLS, _ := TLSKeys(0)
+	port := uint16(80)
+	if mode.TLS() {
+		port = 443
+	}
+	cl := httpsim.NewClient(gen.Stack, httpsim.ClientConfig{
+		TLS:         mode.TLS(),
+		TLSCfg:      cliTLS,
+		Server:      wire.Addr{IP: srv.Stack.IP(), Port: port},
+		Connections: conns,
+		FileSize:    fileSize,
+		Files:       8,
+	})
+	sim.RunFor(3 * time.Millisecond)
+	base := cl.Stats
+	before := srv.Ledger.Clone()
+	start := sim.Now()
+	sim.RunFor(dur)
+	res := &HTTPResult{
+		Bytes:    cl.Stats.Bytes - base.Bytes,
+		Requests: cl.Stats.Responses - base.Responses,
+		Elapsed:  sim.Now() - start,
+		Srv:      cycles.Diff(srv.Ledger, before),
+	}
+	if n := cl.Stats.Responses - base.Responses; n > 0 {
+		res.AvgRTT = (cl.Stats.TotalRTT - base.TotalRTT) / time.Duration(n)
+	}
+	return res
+}
+
+// RunKV drives the Redis-on-Flash GET workload on a storage world.
+func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult {
+	kvsim.NewServer(w.Srv.Stack, 6379, &kvsim.OffloadDB{Host: w.Host, ValueSize: valueSize})
+	cl := kvsim.NewClient(w.Gen.Stack, kvsim.ClientConfig{
+		Server:      wire.Addr{IP: w.Srv.Stack.IP(), Port: 6379},
+		Connections: conns,
+		Keys:        16,
+		ValueSize:   valueSize,
+	})
+	w.Sim.RunFor(3 * time.Millisecond)
+	base := cl.Stats
+	before := w.Srv.Ledger.Clone()
+	start := w.Sim.Now()
+	w.Sim.RunFor(dur)
+	res := &HTTPResult{
+		Bytes:    cl.Stats.Bytes - base.Bytes,
+		Requests: cl.Stats.Responses - base.Responses,
+		Elapsed:  w.Sim.Now() - start,
+		Srv:      cycles.Diff(w.Srv.Ledger, before),
+	}
+	if n := cl.Stats.Responses - base.Responses; n > 0 {
+		res.AvgRTT = (cl.Stats.TotalRTT - base.TotalRTT) / time.Duration(n)
+	}
+	return res
+}
+
+// Throughput conversion helpers shared by the macro experiments.
+
+// oneCoreGbps is the paper's single-core throughput: the smaller of what
+// one modeled core can process and what the run actually moved.
+func oneCoreGbps(m *cycles.Model, lg *cycles.Ledger, bytes uint64, elapsed time.Duration, caps ...float64) float64 {
+	g := m.SingleCoreGbps(lg, bytes)
+	if sim := cycles.Gbps(bytes, elapsed.Seconds()); sim < g {
+		// The run itself was slower (drive- or latency-bound).
+		g = sim
+	}
+	for _, c := range caps {
+		if c < g {
+			g = c
+		}
+	}
+	return g
+}
+
+// nCoreGbps is the achievable throughput with n cores against device caps.
+func nCoreGbps(m *cycles.Model, lg *cycles.Ledger, bytes uint64, n int, caps ...float64) float64 {
+	one := m.SingleCoreGbps(lg, bytes)
+	g := one * float64(n)
+	if g > m.NICGbps {
+		g = m.NICGbps
+	}
+	for _, c := range caps {
+		if c < g {
+			g = c
+		}
+	}
+	return g
+}
+
+// httpsimMode re-exports httpsim.Mode for the shape tests.
+type httpsimMode = httpsim.Mode
+
+// nicConfigWithCache builds a NIC config with a bounded context cache.
+func nicConfigWithCache(flows int) nic.Config { return nic.Config{CtxCacheFlows: flows} }

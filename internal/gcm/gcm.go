@@ -1,0 +1,363 @@
+// Package gcm implements AES-GCM as an *incremental* stream: encryption,
+// decryption, and authentication can be advanced over arbitrary byte ranges
+// while carrying only constant-size state between calls.
+//
+// The Go standard library's cipher.AEAD seals and opens whole messages at
+// once, but a NIC processes a TLS record packet by packet: the offload
+// context stores the CTR position and the running GHASH between packets
+// (the paper's "incrementally computable over any byte range … given only
+// some constant-size state", §3.2). This package provides exactly that
+// state machine, built on the standard library's AES block cipher with
+// GHASH implemented from scratch (byte-position table multiplication in
+// GF(2^128)). The package tests verify byte-for-byte equality with
+// crypto/cipher's GCM.
+package gcm
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// cipherCache memoizes Ciphers by key: experiments run thousands of flows
+// sharing session keys, and each Cipher carries 64 KiB of GHASH tables.
+var (
+	cacheMu     sync.Mutex
+	cipherCache = make(map[string]*Cipher)
+)
+
+// NewCached returns a Cipher for the key, reusing a previously built one.
+// Ciphers are stateless per message, so sharing is safe.
+func NewCached(key []byte) (*Cipher, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cipherCache[string(key)]; ok {
+		return c, nil
+	}
+	c, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	cipherCache[string(key)] = c
+	return c, nil
+}
+
+// Standard AES-GCM parameters.
+const (
+	// NonceSize is the GCM nonce length in bytes.
+	NonceSize = 12
+	// TagSize is the authentication tag length in bytes.
+	TagSize   = 16
+	blockSize = 16
+)
+
+// fieldElement is an element of GF(2^128) in GCM's reflected bit order:
+// low holds bits 0–63 (the first eight bytes, big-endian), high bits 64–127.
+type fieldElement struct {
+	low, high uint64
+}
+
+func gcmAdd(x, y fieldElement) fieldElement {
+	return fieldElement{x.low ^ y.low, x.high ^ y.high}
+}
+
+// gcmDouble multiplies by the polynomial x in GF(2^128).
+func gcmDouble(x fieldElement) fieldElement {
+	msbSet := x.high&1 == 1
+	var d fieldElement
+	d.high = x.high >> 1
+	d.high |= x.low << 63
+	d.low = x.low >> 1
+	if msbSet {
+		// Reduce by the GCM polynomial: 1 + x + x² + x⁷ + x¹²⁸.
+		d.low ^= 0xe100000000000000
+	}
+	return d
+}
+
+// Cipher is an AES key schedule plus the precomputed GHASH tables. It is
+// the static per-connection state of an offload context (the "cipher keys"
+// of §4.1); one Cipher serves any number of records/streams.
+//
+// GHASH uses byte-position tables: byteTable[pos][b] is the field product
+// of H with the block that has byte b at position pos and zeros elsewhere.
+// Multiplying the accumulator by H is then 16 table lookups — the classic
+// 64 KiB software GHASH layout.
+type Cipher struct {
+	block     cipher.Block
+	byteTable [16][256]fieldElement
+}
+
+// New builds a Cipher from a 16-, 24-, or 32-byte AES key.
+func New(key []byte) (*Cipher, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("gcm: %w", err)
+	}
+	c := &Cipher{block: block}
+	var h [blockSize]byte
+	block.Encrypt(h[:], h[:]) // H = E(K, 0¹²⁸)
+	x := fieldElement{
+		binary.BigEndian.Uint64(h[:8]),
+		binary.BigEndian.Uint64(h[8:]),
+	}
+	// Bit k of the block (MSB of byte 0 is bit 0) is the coefficient of
+	// x^k; multiplying by x is gcmDouble in this reflected layout.
+	var bitElem [128]fieldElement
+	bitElem[0] = x
+	for k := 1; k < 128; k++ {
+		bitElem[k] = gcmDouble(bitElem[k-1])
+	}
+	for pos := 0; pos < 16; pos++ {
+		for b := 1; b < 256; b++ {
+			// Build incrementally from b with its lowest set bit cleared;
+			// in-byte bit index j counts from the MSB.
+			lsb := b & -b
+			j := 7 - trailingZeros8(lsb)
+			c.byteTable[pos][b] = gcmAdd(c.byteTable[pos][b&(b-1)], bitElem[pos*8+j])
+		}
+	}
+	return c, nil
+}
+
+func trailingZeros8(b int) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}
+
+// mul sets y = y·H.
+func (c *Cipher) mul(y *fieldElement) {
+	t := &c.byteTable
+	var z fieldElement
+	lo, hi := y.low, y.high
+	for pos := 0; pos < 8; pos++ {
+		e := &t[pos][(lo>>uint(56-8*pos))&0xff]
+		z.low ^= e.low
+		z.high ^= e.high
+		e = &t[8+pos][(hi>>uint(56-8*pos))&0xff]
+		z.low ^= e.low
+		z.high ^= e.high
+	}
+	*y = z
+}
+
+// Direction selects whether a Stream produces ciphertext or plaintext.
+type Direction int
+
+const (
+	// Seal encrypts plaintext and authenticates the resulting ciphertext.
+	Seal Direction = iota
+	// Open decrypts ciphertext and authenticates the input ciphertext.
+	Open
+)
+
+// Stream is the in-flight state of one AES-GCM message (one TLS record).
+// It is deliberately small and copyable: an offload flow context holds one
+// Stream as its dynamic state and advances it packet by packet.
+type Stream struct {
+	c   *Cipher
+	dir Direction
+
+	// CTR state.
+	ctr [blockSize]byte // next counter block to encrypt
+	ks  [blockSize]byte // current keystream block
+	pos int             // bytes of ks consumed (0..16; 16 = need new block)
+
+	// GHASH state.
+	y       fieldElement
+	buf     [blockSize]byte // partial GHASH block
+	bufLen  int
+	aadLen  uint64
+	dataLen uint64
+
+	// Tag mask E(K, J0).
+	tagMask [blockSize]byte
+}
+
+// NewStream begins a message with the given 12-byte nonce and optional
+// additional authenticated data.
+func (c *Cipher) NewStream(dir Direction, nonce, aad []byte) *Stream {
+	if len(nonce) != NonceSize {
+		panic(fmt.Sprintf("gcm: nonce length %d, want %d", len(nonce), NonceSize))
+	}
+	s := &Stream{c: c, dir: dir, pos: blockSize}
+	copy(s.ctr[:], nonce)
+	s.ctr[blockSize-1] = 1 // J0
+	c.block.Encrypt(s.tagMask[:], s.ctr[:])
+	s.incrCtr() // first data counter is J0+1
+	s.aadLen = uint64(len(aad))
+	s.ghashUpdate(aad)
+	s.ghashFlushPad()
+	return s
+}
+
+func (s *Stream) incrCtr() {
+	n := binary.BigEndian.Uint32(s.ctr[12:])
+	binary.BigEndian.PutUint32(s.ctr[12:], n+1)
+}
+
+func (s *Stream) ghashUpdate(data []byte) {
+	if s.bufLen > 0 {
+		n := copy(s.buf[s.bufLen:], data)
+		s.bufLen += n
+		data = data[n:]
+		if s.bufLen < blockSize {
+			return
+		}
+		s.ghashBlock(s.buf[:])
+		s.bufLen = 0
+	}
+	for len(data) >= blockSize {
+		s.ghashBlock(data[:blockSize])
+		data = data[blockSize:]
+	}
+	if len(data) > 0 {
+		s.bufLen = copy(s.buf[:], data)
+	}
+}
+
+func (s *Stream) ghashBlock(b []byte) {
+	s.y.low ^= binary.BigEndian.Uint64(b[:8])
+	s.y.high ^= binary.BigEndian.Uint64(b[8:])
+	s.c.mul(&s.y)
+}
+
+// ghashFlushPad zero-pads and absorbs any partial GHASH block (used at the
+// AAD/data boundary and before the length block).
+func (s *Stream) ghashFlushPad() {
+	if s.bufLen == 0 {
+		return
+	}
+	for i := s.bufLen; i < blockSize; i++ {
+		s.buf[i] = 0
+	}
+	s.ghashBlock(s.buf[:])
+	s.bufLen = 0
+}
+
+// Update processes the next len(src) bytes of the message into dst (which
+// must be at least as long as src and may alias it exactly). For Seal, src
+// is plaintext and dst ciphertext; for Open, the reverse. Update may be
+// called any number of times with arbitrary lengths — this is the per-packet
+// entry point.
+func (s *Stream) Update(dst, src []byte) {
+	s.transform(dst, src, s.dir == Open)
+}
+
+// Transform is Update with an explicit per-call statement of which side of
+// the XOR src is on: srcIsCiphertext=true behaves like Open (authenticate
+// src, output plaintext), false like Seal (output ciphertext, authenticate
+// it). kTLS software uses this for the partial-record fallback of §5.2: a
+// record whose packets are a mix of NIC-decrypted plaintext and raw
+// ciphertext is authenticated in one pass, re-encrypting the NIC-decrypted
+// ranges to recover the ciphertext the GHASH needs.
+func (s *Stream) Transform(dst, src []byte, srcIsCiphertext bool) {
+	s.transform(dst, src, srcIsCiphertext)
+}
+
+// Skip advances the keystream over n bytes that this stream will never see,
+// without authenticating them. The NIC uses it to resume mid-message after
+// unoffloaded packets (Fig. 8b); the stream's tag is meaningless afterwards
+// and must not be checked.
+func (s *Stream) Skip(n int) {
+	s.dataLen += uint64(n)
+	if s.pos < blockSize {
+		rem := blockSize - s.pos
+		if n < rem {
+			s.pos += n
+			return
+		}
+		n -= rem
+		s.pos = blockSize
+	}
+	blocks := uint32(n / blockSize)
+	c := binary.BigEndian.Uint32(s.ctr[12:])
+	binary.BigEndian.PutUint32(s.ctr[12:], c+blocks)
+	if rem := n % blockSize; rem > 0 {
+		s.c.block.Encrypt(s.ks[:], s.ctr[:])
+		s.incrCtr()
+		s.pos = rem
+	}
+}
+
+func (s *Stream) transform(dst, src []byte, srcIsCiphertext bool) {
+	if len(dst) < len(src) {
+		panic("gcm: dst shorter than src")
+	}
+	s.dataLen += uint64(len(src))
+	if srcIsCiphertext {
+		// Authenticate ciphertext before transforming (src may alias dst).
+		s.ghashUpdate(src)
+	}
+	sealed := !srcIsCiphertext
+	for i := 0; i < len(src); {
+		if s.pos == blockSize {
+			s.c.block.Encrypt(s.ks[:], s.ctr[:])
+			s.incrCtr()
+			s.pos = 0
+		}
+		n := blockSize - s.pos
+		if rem := len(src) - i; rem < n {
+			n = rem
+		}
+		out := dst[i : i+n]
+		in := src[i : i+n]
+		if n == blockSize && s.pos == 0 {
+			// Whole-block fast path: XOR as two 64-bit words.
+			k0 := binary.LittleEndian.Uint64(s.ks[0:8])
+			k1 := binary.LittleEndian.Uint64(s.ks[8:16])
+			binary.LittleEndian.PutUint64(out[0:8], binary.LittleEndian.Uint64(in[0:8])^k0)
+			binary.LittleEndian.PutUint64(out[8:16], binary.LittleEndian.Uint64(in[8:16])^k1)
+		} else {
+			for j := 0; j < n; j++ {
+				out[j] = in[j] ^ s.ks[s.pos+j]
+			}
+		}
+		if sealed {
+			s.ghashUpdate(out)
+		}
+		s.pos += n
+		i += n
+	}
+}
+
+// Tag finalizes the message and returns the 16-byte authentication tag.
+// The stream must not be updated afterwards.
+func (s *Stream) Tag() [TagSize]byte {
+	s.ghashFlushPad()
+	var lenBlock [blockSize]byte
+	binary.BigEndian.PutUint64(lenBlock[:8], s.aadLen*8)
+	binary.BigEndian.PutUint64(lenBlock[8:], s.dataLen*8)
+	s.ghashBlock(lenBlock[:])
+	var tag [TagSize]byte
+	binary.BigEndian.PutUint64(tag[:8], s.y.low)
+	binary.BigEndian.PutUint64(tag[8:], s.y.high)
+	for i := range tag {
+		tag[i] ^= s.tagMask[i]
+	}
+	return tag
+}
+
+// Verify finalizes the message and compares the computed tag against want
+// in constant time.
+func (s *Stream) Verify(want []byte) bool {
+	tag := s.Tag()
+	return len(want) == TagSize && subtle.ConstantTimeCompare(tag[:], want) == 1
+}
+
+// Clone snapshots the stream state. The offload context clones mid-message
+// state when software may need to resume the computation later.
+func (s *Stream) Clone() *Stream {
+	dup := *s
+	return &dup
+}
+
+// Processed returns how many payload bytes the stream has consumed.
+func (s *Stream) Processed() uint64 { return s.dataLen }

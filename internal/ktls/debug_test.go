@@ -1,0 +1,138 @@
+package ktls
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gcm"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// TestDebugPartialRecords reconstructs ground truth for every record (known
+// keys, plaintext, and record indices) and pinpoints chunks whose content
+// disagrees with their NIC verdict flags. It guards the invariant that a
+// TLSDecrypted chunk really holds plaintext and an unflagged chunk really
+// holds ciphertext.
+func TestDebugPartialRecords(t *testing.T) {
+	data := payload(400<<10, 6)
+	w := newWorld(lossyLink(0.03, 7))
+	cliCfg, srvCfg := testCfgPair()
+
+	// Precompute ground-truth records: record i covers plaintext
+	// [i*16384, ...) and its ciphertext.
+	cipher, _ := gcm.New(srvCfg.Key)
+	recSize := MaxPlaintext
+	type rec struct{ pt, ct []byte }
+	var recs []rec
+	for off := 0; off < len(data); off += recSize {
+		n := min(recSize, len(data)-off)
+		hdr := make([]byte, HeaderLen)
+		PutHeader(hdr, n)
+		nonce := RecordNonce(cliCfg.TxIV, uint64(len(recs)))
+		s := cipher.NewStream(gcm.Seal, nonce[:], hdr)
+		ct := make([]byte, n)
+		s.Update(ct, data[off:off+n])
+		recs = append(recs, rec{pt: data[off : off+n], ct: ct})
+	}
+
+	var srvConn *Conn
+	recIdx := 0
+	failed := false
+	w.srvStack.Listen(443, func(s *tcpip.Socket) {
+		conn, _ := NewConn(s, srvCfg)
+		srvConn = conn
+		conn.EnableRxOffload(w.srvNIC)
+		conn.OnPlain = func(pc PlainChunk) {}
+		conn.OnError = func(err error) {
+			failed = true
+			t.Logf("record error at rxSeq=%d: %v", conn.rxSeq, err)
+		}
+		// Intercept record handling by checking chunks pre-classification.
+		origHandle := conn.OnPlain
+		_ = origHandle
+	})
+
+	// Hook: wrap handleRecord via a shim — instead, inspect inside
+	// processRecords by checking invariant per chunk right before
+	// classification. We do this by replicating classification here after
+	// the transfer using a tap on OnPlain is insufficient; so instead we
+	// verify below using a custom conn with a chunk tap.
+	tap := func(chunks []tcpip.Chunk, recStart uint32, idx int) {
+		if idx >= len(recs) {
+			return
+		}
+		off := 0
+		bodyLen := len(recs[idx].pt)
+		for _, ch := range chunks {
+			start, end := off, off+len(ch.Data)
+			off = end
+			lo, hi := max(start, HeaderLen), min(end, HeaderLen+bodyLen)
+			if lo >= hi {
+				continue
+			}
+			seg := ch.Data[lo-start : hi-start]
+			wantPT := recs[idx].pt[lo-HeaderLen : hi-HeaderLen]
+			wantCT := recs[idx].ct[lo-HeaderLen : hi-HeaderLen]
+			isPT := bytes.Equal(seg, wantPT)
+			isCT := bytes.Equal(seg, wantCT)
+			flagged := ch.Flags.Has(2 /*meta.TLSDecrypted*/)
+			if flagged && !isPT {
+				kind := "garbage"
+				if isCT {
+					kind = "ciphertext"
+				}
+				t.Errorf("record %d chunk [%d,%d) flagged decrypted but holds %s (flags=%v)",
+					idx, lo, hi, kind, ch.Flags)
+			}
+			if !flagged && !isCT {
+				kind := "garbage"
+				if isPT {
+					kind = "plaintext"
+				}
+				t.Errorf("record %d chunk [%d,%d) unflagged but holds %s (flags=%v)",
+					idx, lo, hi, kind, ch.Flags)
+			}
+		}
+	}
+	_ = tap
+	_ = recIdx
+	_ = fmt.Sprint
+
+	// Use the tap by injecting into Conn via the test-only hook.
+	testRecordTap = tap
+	defer func() { testRecordTap = nil }()
+
+	var cliConn *Conn
+	w.cliStack.Connect(wire.Addr{IP: w.srvStack.IP(), Port: 443}, func(s *tcpip.Socket) {
+		conn, _ := NewConn(s, cliCfg)
+		cliConn = conn
+		conn.EnableTxOffload(w.cliNIC, false)
+		remaining := data
+		var pump func(*Conn)
+		pump = func(c *Conn) {
+			n := c.Write(remaining)
+			remaining = remaining[n:]
+			if len(remaining) == 0 {
+				c.Close()
+				c.OnDrain = nil
+			}
+		}
+		conn.OnDrain = pump
+		pump(conn)
+	})
+	w.sim.RunUntil(60 * time.Second)
+	if srvConn != nil {
+		t.Logf("server stats: %+v", srvConn.Stats)
+		t.Logf("engine stats: %+v", srvConn.RxEngine().Stats)
+	}
+	if cliConn != nil {
+		t.Logf("client tx engine: %+v", cliConn.TxEngine().Stats)
+		t.Logf("client sock stats: %+v", w.cliStack.Stats)
+	}
+	_ = rand.Int
+	_ = failed
+}

@@ -1,0 +1,85 @@
+// Package ktls implements the TLS record data path of the paper's §5.2 on
+// both sides of the NIC boundary:
+//
+//   - Software (Conn): a kernel-TLS-like record layer over a tcpip.Socket —
+//     AES-128-GCM record encryption and decryption, with the offload fast
+//     path that skips crypto when the NIC already did it, and the fallback
+//     paths for fully- and partially-unoffloaded records (including the
+//     re-encrypt-to-authenticate cost of partial records).
+//
+//   - Hardware (TxOps/RxOps): the NIC-side per-flow crypto state driven by
+//     the generic offload engines — incremental AES-GCM over packets, ICV
+//     fill on transmit, decryption and ICV verification on receive, and the
+//     TLS magic pattern {record type, version, length} used for receive
+//     resynchronization.
+//
+// The record format follows TLS 1.3 application-data records: a 5-byte
+// header (type 0x17, version 0x0303, 16-bit length covering ciphertext plus
+// tag), the ciphertext, and a 16-byte AES-GCM tag. The per-record nonce is
+// the session IV XORed with the record sequence number, and the header is
+// the AAD.
+package ktls
+
+import (
+	"encoding/binary"
+
+	"repro/internal/gcm"
+	"repro/internal/offload"
+)
+
+// Record format constants.
+const (
+	// HeaderLen is the TLS record header size.
+	HeaderLen = 5
+	// TagLen is the AES-GCM ICV size.
+	TagLen = gcm.TagSize
+	// MaxPlaintext is the largest record payload (RFC 8446 §5.1).
+	MaxPlaintext = 16384
+	// MaxRecordLen is the largest total record size on the wire.
+	MaxRecordLen = HeaderLen + MaxPlaintext + TagLen
+	// RecordTypeData is the application-data record type.
+	RecordTypeData = 0x17
+	// Version is the legacy record version (TLS 1.2 on the wire).
+	Version = 0x0303
+)
+
+// PutHeader writes a record header for a record carrying n plaintext bytes.
+func PutHeader(dst []byte, n int) {
+	dst[0] = RecordTypeData
+	binary.BigEndian.PutUint16(dst[1:3], Version)
+	binary.BigEndian.PutUint16(dst[3:5], uint16(n+TagLen))
+}
+
+// ParseHeader validates the TLS magic pattern of §5.2 — record type,
+// version, and a plausible length — and returns the record layout.
+func ParseHeader(hdr []byte) (offload.MsgLayout, bool) {
+	if hdr[0] != RecordTypeData {
+		return offload.MsgLayout{}, false
+	}
+	if binary.BigEndian.Uint16(hdr[1:3]) != Version {
+		return offload.MsgLayout{}, false
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	if n < TagLen || n > MaxPlaintext+TagLen {
+		return offload.MsgLayout{}, false
+	}
+	return offload.MsgLayout{
+		Total:   HeaderLen + n,
+		Header:  HeaderLen,
+		Trailer: TagLen,
+	}, true
+}
+
+// RecordNonce derives the per-record GCM nonce: session IV XOR record
+// sequence number (TLS 1.3 style). The dynamic state a context needs at a
+// record boundary is therefore just the count of previous records (§3.2).
+func RecordNonce(iv [gcm.NonceSize]byte, seq uint64) [gcm.NonceSize]byte {
+	var n [gcm.NonceSize]byte
+	copy(n[:], iv[:])
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= s[i]
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+// Package kvsim provides the Redis-on-Flash macrobenchmark of the paper's
+// §6.3 (Fig. 15): a key-value server whose values live on the remote SSD
+// behind NVMe-TCP, and a memtier-like GET workload driver.
+//
+// The storage backend follows the paper's OffloadDB (§6.2): keys, values,
+// and metadata are separated so that value reads map to clean block
+// extents — values arrive from the device without interleaved metadata,
+// which is what makes the NIC's direct placement applicable.
+package kvsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cycles"
+	"repro/internal/nvmetcp"
+	"repro/internal/stream"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// valueExtentBlocks spaces value extents on the device (1 MiB apart).
+const valueExtentBlocks = 1 << 20 / blockdev.BlockSize
+
+// ValueBaseLBA returns the device extent of a key id's value.
+func ValueBaseLBA(id uint64) uint64 { return (1 << 30 / blockdev.BlockSize) + id*valueExtentBlocks }
+
+// ValueContent fills dst with the deterministic value bytes of key id.
+func ValueContent(id uint64, dst []byte) {
+	lba := ValueBaseLBA(id)
+	for off := 0; off < len(dst); off += blockdev.BlockSize {
+		n := len(dst) - off
+		if n > blockdev.BlockSize {
+			n = blockdev.BlockSize
+		}
+		blockdev.Pattern(lba, 0, dst[off:off+n])
+		lba++
+	}
+}
+
+// OffloadDB is the storage backend: value extents on the NVMe-TCP device.
+type OffloadDB struct {
+	// Host is the NVMe-TCP initiator (with or without receive offloads).
+	Host *nvmetcp.Host
+	// ValueSize is the fixed value size in bytes.
+	ValueSize int
+}
+
+// Get fetches the value of key id.
+func (db *OffloadDB) Get(id uint64, done func([]byte, error)) {
+	blocks := (db.ValueSize + blockdev.BlockSize - 1) / blockdev.BlockSize
+	buf := make([]byte, blocks*blockdev.BlockSize)
+	db.Host.ReadBlocks(ValueBaseLBA(id), blocks, buf, func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(buf[:db.ValueSize], nil)
+	})
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Connections uint64
+	Gets        uint64
+	BytesServed uint64
+	Errors      uint64
+}
+
+// Server is the Redis-on-Flash analogue. Protocol: "GET k<id>\r\n" →
+// "$<len>\r\n<value>\r\n".
+type Server struct {
+	stack  *tcpip.Stack
+	db     *OffloadDB
+	model  *cycles.Model
+	ledger *cycles.Ledger
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats ServerStats
+}
+
+// NewServer starts a KV server on the stack's given port.
+func NewServer(stack *tcpip.Stack, port uint16, db *OffloadDB) *Server {
+	s := &Server{stack: stack, db: db, model: stack.Model(), ledger: stack.Ledger()}
+	stack.Listen(port, s.accept)
+	return s
+}
+
+func (s *Server) accept(sock *tcpip.Socket) {
+	s.Stats.Connections++
+	st := stream.NewSocketTransport(sock)
+	c := &serverConn{srv: s, st: st}
+	st.SetOnData(c.onData)
+	st.SetOnDrain(c.pump)
+}
+
+type serverConn struct {
+	srv  *Server
+	st   stream.Stream
+	line []byte
+	outq [][]byte
+}
+
+func (c *serverConn) onData(ch tcpip.Chunk) {
+	c.line = append(c.line, ch.Data...)
+	for {
+		idx := strings.Index(string(c.line), "\r\n")
+		if idx < 0 {
+			return
+		}
+		cmd := string(c.line[:idx])
+		c.line = c.line[idx+2:]
+		c.handle(cmd)
+	}
+}
+
+func (c *serverConn) handle(cmd string) {
+	s := c.srv
+	s.ledger.Charge(cycles.HostApp, cycles.AppWork, s.model.AppPerRequest, 0)
+	s.ledger.Charge(cycles.HostApp, cycles.Syscall, s.model.SyscallCost, 0)
+	fields := strings.Fields(cmd)
+	if len(fields) != 2 || fields[0] != "GET" || !strings.HasPrefix(fields[1], "k") {
+		s.Stats.Errors++
+		c.send([]byte("-ERR\r\n"))
+		return
+	}
+	id, err := strconv.ParseUint(fields[1][1:], 10, 64)
+	if err != nil {
+		s.Stats.Errors++
+		c.send([]byte("-ERR\r\n"))
+		return
+	}
+	s.db.Get(id, func(val []byte, err error) {
+		if err != nil {
+			s.Stats.Errors++
+			c.send([]byte("-ERR\r\n"))
+			return
+		}
+		s.Stats.Gets++
+		s.Stats.BytesServed += uint64(len(val))
+		resp := append([]byte(fmt.Sprintf("$%d\r\n", len(val))), val...)
+		resp = append(resp, '\r', '\n')
+		c.send(resp)
+	})
+}
+
+func (c *serverConn) send(p []byte) {
+	c.outq = append(c.outq, p)
+	c.pump()
+}
+
+func (c *serverConn) pump() {
+	for len(c.outq) > 0 {
+		head := c.outq[0]
+		n := c.st.WriteZC(head)
+		if n < len(head) {
+			c.outq[0] = head[n:]
+			return
+		}
+		c.outq = c.outq[1:]
+	}
+}
+
+// ClientStats aggregates driver results.
+type ClientStats struct {
+	Responses   uint64
+	Bytes       uint64
+	Errors      uint64
+	TotalRTT    time.Duration
+	VerifyFails uint64
+}
+
+// ClientConfig configures the memtier-like driver.
+type ClientConfig struct {
+	Server      wire.Addr
+	Connections int
+	Keys        int
+	ValueSize   int
+	Verify      bool
+}
+
+// Client is the memtier analogue: persistent connections issuing GETs
+// back to back.
+type Client struct {
+	stack *tcpip.Stack
+	cfg   ClientConfig
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats ClientStats
+}
+
+// NewClient creates the driver and opens its connections.
+func NewClient(stack *tcpip.Stack, cfg ClientConfig) *Client {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	c := &Client{stack: stack, cfg: cfg}
+	for i := 0; i < cfg.Connections; i++ {
+		i := i
+		stack.Connect(cfg.Server, func(sock *tcpip.Socket) {
+			cc := &clientConn{cli: c, st: stream.NewSocketTransport(sock), id: uint64(i)}
+			cc.st.SetOnData(cc.onData)
+			cc.st.SetOnDrain(func() {})
+			cc.next()
+		})
+	}
+	return c
+}
+
+type clientConn struct {
+	cli *Client
+	st  stream.Stream
+	id  uint64
+
+	key      uint64
+	count    uint64
+	issuedAt time.Duration
+	buf      []byte
+	expect   int // -1: header incomplete
+}
+
+func (c *clientConn) next() {
+	c.key = (c.id + c.count) % uint64(c.cli.cfg.Keys)
+	c.count++
+	c.issuedAt = c.cli.stack.Sim().Now()
+	c.buf = c.buf[:0]
+	c.expect = -1
+	req := fmt.Sprintf("GET k%d\r\n", c.key)
+	if n := c.st.Write([]byte(req)); n < len(req) {
+		c.cli.Stats.Errors++
+	}
+}
+
+func (c *clientConn) onData(ch tcpip.Chunk) {
+	c.buf = append(c.buf, ch.Data...)
+	for {
+		if c.expect < 0 {
+			idx := strings.Index(string(c.buf), "\r\n")
+			if idx < 0 {
+				return
+			}
+			hdr := string(c.buf[:idx])
+			if !strings.HasPrefix(hdr, "$") {
+				c.cli.Stats.Errors++
+				c.buf = c.buf[idx+2:]
+				c.next()
+				return
+			}
+			n, err := strconv.Atoi(hdr[1:])
+			if err != nil {
+				c.cli.Stats.Errors++
+				return
+			}
+			c.expect = n
+			c.buf = c.buf[idx+2:]
+		}
+		if len(c.buf) < c.expect+2 {
+			return
+		}
+		val := c.buf[:c.expect]
+		c.finish(val)
+		c.buf = c.buf[c.expect+2:]
+		c.next()
+	}
+}
+
+func (c *clientConn) finish(val []byte) {
+	cli := c.cli
+	cli.Stats.Responses++
+	cli.Stats.Bytes += uint64(len(val))
+	cli.Stats.TotalRTT += cli.stack.Sim().Now() - c.issuedAt
+	if cli.cfg.Verify {
+		want := make([]byte, len(val))
+		ValueContent(c.key, want)
+		if string(want) != string(val) {
+			cli.Stats.VerifyFails++
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package kvsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cycles"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/nvmetcp"
+	"repro/internal/stream"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// world: generator ↔ server ↔ storage target.
+type world struct {
+	sim    *netsim.Simulator
+	genStk *tcpip.Stack
+	srvStk *tcpip.Stack
+	srvLg  *cycles.Ledger
+	host   *nvmetcp.Host
+	server *Server
+}
+
+func newWorld(t *testing.T, valueSize int, nvmeOffload bool) *world {
+	t.Helper()
+	w := &world{sim: netsim.New()}
+	model := cycles.DefaultModel()
+	front := netsim.NewLink(w.sim, netsim.LinkConfig{Gbps: 100, Latency: 2 * time.Microsecond})
+	back := netsim.NewLink(w.sim, netsim.LinkConfig{Gbps: 100, Latency: 2 * time.Microsecond})
+
+	genLg := &cycles.Ledger{}
+	w.genStk = tcpip.NewStack(w.sim, [4]byte{10, 0, 0, 1}, &model, genLg)
+	genNIC := nic.New(w.genStk, front.SendAtoB, nic.Config{Model: &model, Ledger: genLg})
+
+	w.srvLg = &cycles.Ledger{}
+	w.srvStk = tcpip.NewStack(w.sim, [4]byte{10, 0, 0, 2}, &model, w.srvLg)
+	srvNIC := nic.New(w.srvStk, func(frame []byte) {
+		pkt, err := wire.Parse(frame)
+		if err != nil {
+			return
+		}
+		if pkt.Flow.Dst.IP[3] == 1 {
+			front.SendBtoA(frame)
+		} else {
+			back.SendAtoB(frame)
+		}
+	}, nic.Config{Model: &model, Ledger: w.srvLg})
+
+	tgtLg := &cycles.Ledger{}
+	tgtStk := tcpip.NewStack(w.sim, [4]byte{10, 0, 0, 3}, &model, tgtLg)
+	tgtNIC := nic.New(tgtStk, back.SendBtoA, nic.Config{Model: &model, Ledger: tgtLg})
+
+	front.AttachA(genNIC)
+	front.AttachB(srvNIC)
+	back.AttachA(srvNIC)
+	back.AttachB(tgtNIC)
+
+	dev := blockdev.New(w.sim, blockdev.Config{Latency: 80 * time.Microsecond, GBps: 2.67})
+	tgtStk.Listen(4420, func(s *tcpip.Socket) {
+		ctrl := nvmetcp.NewController(stream.NewSocketTransport(s), dev)
+		ctrl.EnableTxOffload(tgtNIC)
+	})
+	w.srvStk.Connect(wire.Addr{IP: tgtStk.IP(), Port: 4420}, func(s *tcpip.Socket) {
+		w.host = nvmetcp.NewHost(stream.NewSocketTransport(s))
+		if nvmeOffload {
+			w.host.EnableRxOffload(srvNIC)
+		}
+		w.server = NewServer(w.srvStk, 6379, &OffloadDB{Host: w.host, ValueSize: valueSize})
+	})
+	w.sim.RunFor(10 * time.Millisecond)
+	if w.host == nil || w.server == nil {
+		t.Fatal("setup failed")
+	}
+	return w
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	for _, offload := range []bool{false, true} {
+		w := newWorld(t, 32<<10, offload)
+		cl := NewClient(w.genStk, ClientConfig{
+			Server:      wire.Addr{IP: w.srvStk.IP(), Port: 6379},
+			Connections: 8,
+			Keys:        16,
+			ValueSize:   32 << 10,
+			Verify:      true,
+		})
+		w.sim.RunFor(20 * time.Millisecond)
+		if cl.Stats.Responses == 0 {
+			t.Fatalf("offload=%v: no responses", offload)
+		}
+		if cl.Stats.VerifyFails > 0 {
+			t.Fatalf("offload=%v: %d corrupted values", offload, cl.Stats.VerifyFails)
+		}
+		if cl.Stats.Errors > 0 || w.server.Stats.Errors > 0 {
+			t.Fatalf("offload=%v: errors (client=%d server=%d)",
+				offload, cl.Stats.Errors, w.server.Stats.Errors)
+		}
+		if offload {
+			if w.host.Stats.BytesPlaced == 0 {
+				t.Error("offload run placed nothing")
+			}
+			if got := w.srvLg.Get(cycles.HostL5P, cycles.Copy).Cycles; got != 0 {
+				t.Errorf("offload run charged %v host copy cycles", got)
+			}
+		} else if w.host.Stats.BytesCopied == 0 {
+			t.Error("software run copied nothing")
+		}
+	}
+}
+
+func TestValueContentDeterministic(t *testing.T) {
+	a := make([]byte, 5000)
+	b := make([]byte, 5000)
+	ValueContent(7, a)
+	ValueContent(7, b)
+	if string(a) != string(b) {
+		t.Error("value content not deterministic")
+	}
+	ValueContent(8, b)
+	if string(a) == string(b) {
+		t.Error("different keys yielded identical values")
+	}
+}

@@ -1,0 +1,38 @@
+package meta
+
+import "testing"
+
+func TestString(t *testing.T) {
+	if got := RxFlags(0).String(); got != "none" {
+		t.Errorf("zero flags = %q", got)
+	}
+	f := TLSOffloaded | TLSDecrypted | NVMePlaced
+	s := f.String()
+	for _, want := range []string{"tls-offloaded", "tls-decrypted", "nvme-placed"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if contains(s, "nvme-crc-ok") {
+		t.Errorf("String() = %q has unset flag", s)
+	}
+}
+
+func TestHas(t *testing.T) {
+	f := TLSOffloaded | TLSAuthOK
+	if !f.Has(TLSOffloaded) || !f.Has(TLSOffloaded|TLSAuthOK) {
+		t.Error("Has missed set bits")
+	}
+	if f.Has(TLSOffloaded | TLSDecrypted) {
+		t.Error("Has matched despite a missing bit")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,317 @@
+// Package netsim provides the deterministic discrete-event substrate the
+// whole reproduction runs on: a virtual clock, an event queue, and duplex
+// links with configurable bandwidth, latency, loss, reordering, and
+// duplication.
+//
+// Determinism matters here: the paper's §6.4 experiments sweep loss and
+// reordering probabilities, and the offload statistics (fully / partially /
+// not offloaded records) must be reproducible run to run. Everything is
+// single-threaded; randomness comes only from explicitly seeded generators.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+}
+
+// New returns an empty simulator at virtual time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Timer is a scheduled callback that can be stopped before it fires.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped
+// timer is a no-op. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired }
+
+type event struct {
+	at        time.Duration
+	seq       uint64 // tie-break: FIFO among same-time events
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Simulator) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to it.
+// It reports whether an event ran.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or maxEvents have run.
+// It returns the number of events processed. A maxEvents of 0 means no
+// limit; the simulation must quiesce on its own.
+func (s *Simulator) Run(maxEvents int) int {
+	n := 0
+	for s.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil processes events with time ≤ t, then sets the clock to t.
+func (s *Simulator) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.queue.peek()
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the clock by d, processing all events in the window.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Quiesced reports whether no events remain.
+func (s *Simulator) Quiesced() bool {
+	for s.queue.Len() > 0 {
+		if !s.queue.peek().cancelled {
+			return false
+		}
+		heap.Pop(&s.queue)
+	}
+	return true
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+func (q eventQueue) peek() *event { return q[0] }
+
+// FaultConfig describes impairments applied to one link direction,
+// mirroring the netem knobs the paper uses in §6.4.
+type FaultConfig struct {
+	// LossProb is the probability a frame is silently dropped.
+	LossProb float64
+	// ReorderProb is the probability a frame is held back by ReorderDelay,
+	// letting later frames overtake it.
+	ReorderProb float64
+	// ReorderDelay is the extra holding time for reordered frames. Zero
+	// defaults to 4 frame-times at the link rate (enough to overtake).
+	ReorderDelay time.Duration
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// Seed seeds this direction's fault generator.
+	Seed int64
+}
+
+// DirStats counts what happened on one link direction.
+type DirStats struct {
+	Sent       uint64 // frames handed to the link
+	Delivered  uint64 // frames delivered (duplicates count)
+	Dropped    uint64
+	Reordered  uint64
+	Duplicated uint64
+	Bytes      uint64 // payload-bearing frame bytes delivered
+}
+
+// LinkConfig describes a duplex link.
+type LinkConfig struct {
+	// Gbps is the serialization rate; 0 means infinitely fast.
+	Gbps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// AtoB and BtoA configure per-direction impairments.
+	AtoB, BtoA FaultConfig
+}
+
+// Endpoint consumes frames arriving from a link.
+type Endpoint interface {
+	DeliverFrame(frame []byte)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(frame []byte)
+
+// DeliverFrame calls f.
+func (f EndpointFunc) DeliverFrame(frame []byte) { f(frame) }
+
+// Link is a duplex point-to-point link between endpoints A and B.
+type Link struct {
+	sim  *Simulator
+	cfg  LinkConfig
+	a, b Endpoint
+	dirs [2]direction
+}
+
+type direction struct {
+	rng      *rand.Rand
+	stats    DirStats
+	nextFree time.Duration // when the serializer is next available
+}
+
+// NewLink creates a link; attach endpoints with AttachA/AttachB before
+// sending.
+func NewLink(sim *Simulator, cfg LinkConfig) *Link {
+	l := &Link{sim: sim, cfg: cfg}
+	l.dirs[0].rng = rand.New(rand.NewSource(cfg.AtoB.Seed + 1))
+	l.dirs[1].rng = rand.New(rand.NewSource(cfg.BtoA.Seed + 2))
+	return l
+}
+
+// AttachA sets the endpoint on the A side.
+func (l *Link) AttachA(e Endpoint) { l.a = e }
+
+// AttachB sets the endpoint on the B side.
+func (l *Link) AttachB(e Endpoint) { l.b = e }
+
+// SendAtoB transmits a frame from A toward B.
+func (l *Link) SendAtoB(frame []byte) { l.send(0, frame) }
+
+// SendBtoA transmits a frame from B toward A.
+func (l *Link) SendBtoA(frame []byte) { l.send(1, frame) }
+
+// StatsAtoB returns counters for the A→B direction.
+func (l *Link) StatsAtoB() DirStats { return l.dirs[0].stats }
+
+// StatsBtoA returns counters for the B→A direction.
+func (l *Link) StatsBtoA() DirStats { return l.dirs[1].stats }
+
+func (l *Link) send(dir int, frame []byte) {
+	d := &l.dirs[dir]
+	fc := l.cfg.AtoB
+	dst := l.b
+	if dir == 1 {
+		fc = l.cfg.BtoA
+		dst = l.a
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("netsim: link direction %d has no endpoint", dir))
+	}
+	d.stats.Sent++
+
+	// Serialization: the frame occupies the transmitter for its wire time.
+	now := l.sim.Now()
+	start := now
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	var serialize time.Duration
+	if l.cfg.Gbps > 0 {
+		serialize = time.Duration(float64(len(frame)) * 8 / (l.cfg.Gbps * 1e9) * float64(time.Second))
+	}
+	d.nextFree = start + serialize
+	arrive := start + serialize + l.cfg.Latency
+
+	if fc.LossProb > 0 && d.rng.Float64() < fc.LossProb {
+		d.stats.Dropped++
+		return
+	}
+	if fc.ReorderProb > 0 && d.rng.Float64() < fc.ReorderProb {
+		d.stats.Reordered++
+		extra := fc.ReorderDelay
+		if extra == 0 {
+			extra = 4 * maxDuration(serialize, time.Microsecond)
+		}
+		arrive += extra
+	}
+	deliver := func() {
+		d.stats.Delivered++
+		d.stats.Bytes += uint64(len(frame))
+		dst.DeliverFrame(frame)
+	}
+	l.sim.At(arrive, deliver)
+	if fc.DupProb > 0 && d.rng.Float64() < fc.DupProb {
+		d.stats.Duplicated++
+		dup := append([]byte(nil), frame...)
+		l.sim.At(arrive+maxDuration(serialize, time.Microsecond), func() {
+			d.stats.Delivered++
+			d.stats.Bytes += uint64(len(dup))
+			dst.DeliverFrame(dup)
+		})
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+// Package nic is the simulated NIC: the device that sits between the TCP
+// stack and the link. It owns frame (de)serialization, per-packet driver
+// and DMA cost accounting, the per-flow offload engines, and the bounded
+// context cache whose capacity the scalability experiment of §6.5 stresses.
+//
+// The NIC knows nothing about TLS or NVMe-TCP specifically: L5P code
+// attaches generic offload engines (offload.TxEngine / offload.RxEngine)
+// per flow — the l5o_create/l5o_destroy surface of Listing 1 — and the NIC
+// runs them over every matching packet.
+package nic
+
+import (
+	"container/list"
+
+	"repro/internal/cycles"
+	"repro/internal/meta"
+	"repro/internal/netsim"
+	"repro/internal/offload"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// Config sets the device parameters.
+type Config struct {
+	// Model and Ledger are the host's cost model and ledger; NIC-side work
+	// is charged to the cycles.NIC and cycles.PCIe components.
+	Model  *cycles.Model
+	Ledger *cycles.Ledger
+	// CtxCacheFlows bounds the on-NIC context cache (number of flow
+	// contexts held). Zero means unbounded. The paper's ConnectX-6 Dx
+	// holds at most ≈20 K flows in 4 MiB (§6.5).
+	CtxCacheFlows int
+	// CtxBytes is the size of one flow context (208 B in the paper).
+	CtxBytes int
+	// DropRxChecksumErrors silently discards frames that fail IP/TCP
+	// checksums (default behaviour of real NICs).
+	DropRxChecksumErrors bool
+}
+
+// Stats counts device events.
+type Stats struct {
+	TxPackets     uint64
+	RxPackets     uint64
+	RxBadFrames   uint64
+	TxBytes       uint64
+	RxBytes       uint64
+	CtxCacheHits  uint64
+	CtxCacheMiss  uint64 // context reloaded over PCIe (Fig. 19 regime)
+	TxRecoveryDMA uint64 // bytes DMA-read for transmit context recovery
+}
+
+// NIC is one host's network device.
+type NIC struct {
+	cfg   Config
+	stack *tcpip.Stack
+	send  func(frame []byte)
+
+	tx map[wire.FlowID][]*offload.TxEngine
+	rx map[wire.FlowID][]*offload.RxEngine
+
+	// Context cache (LRU by flow+direction key).
+	cacheList *list.List
+	cacheMap  map[cacheKey]*list.Element
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats Stats
+}
+
+type cacheKey struct {
+	flow wire.FlowID
+	rx   bool
+}
+
+// New creates a NIC, wires it as the stack's device, and returns it. The
+// send function transmits a serialized frame onto the link (the NIC is also
+// a netsim.Endpoint for arriving frames).
+func New(stack *tcpip.Stack, send func(frame []byte), cfg Config) *NIC {
+	if cfg.CtxBytes == 0 {
+		cfg.CtxBytes = 208
+	}
+	n := &NIC{
+		cfg:       cfg,
+		stack:     stack,
+		send:      send,
+		tx:        make(map[wire.FlowID][]*offload.TxEngine),
+		rx:        make(map[wire.FlowID][]*offload.RxEngine),
+		cacheList: list.New(),
+		cacheMap:  make(map[cacheKey]*list.Element),
+	}
+	stack.SetDevice(n)
+	return n
+}
+
+var (
+	_ tcpip.NetDevice = (*NIC)(nil)
+	_ netsim.Endpoint = (*NIC)(nil)
+)
+
+// AttachTx installs a transmit offload engine for a flow (local→remote),
+// in L5P layering order: for NVMe-TCP over TLS, the NVMe engine runs
+// before the TLS engine on transmit (§5.3).
+func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
+	n.tx[flow] = append(n.tx[flow], e)
+}
+
+// AttachRx installs a receive offload engine for a flow as seen in arriving
+// packets (remote→local). Stacked L5Ps attach only the outermost engine;
+// inner engines are fed by the outer Ops' emission hook.
+func (n *NIC) AttachRx(flow wire.FlowID, e *offload.RxEngine) {
+	n.rx[flow] = append(n.rx[flow], e)
+}
+
+// DetachTx removes all transmit engines for the flow (l5o_destroy).
+func (n *NIC) DetachTx(flow wire.FlowID) {
+	delete(n.tx, flow)
+	n.cacheDrop(cacheKey{flow: flow})
+}
+
+// DetachRx removes all receive engines for the flow.
+func (n *NIC) DetachRx(flow wire.FlowID) {
+	delete(n.rx, flow)
+	n.cacheDrop(cacheKey{flow: flow, rx: true})
+}
+
+// Transmit implements tcpip.NetDevice: the driver posts the packet, offload
+// engines transform the payload in place, and the frame goes on the wire.
+func (n *NIC) Transmit(pkt *wire.Packet) {
+	m := n.cfg.Model
+	lg := n.cfg.Ledger
+	n.Stats.TxPackets++
+	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+
+	engines := n.tx[pkt.Flow]
+	if len(engines) > 0 && len(pkt.Payload) > 0 {
+		n.cacheTouch(cacheKey{flow: pkt.Flow})
+		for _, e := range engines {
+			before := e.Stats.RecoveryDMABytes
+			recovered := e.Stats.Recoveries
+			e.Process(pkt.Seq, pkt.Payload)
+			if dma := e.Stats.RecoveryDMABytes - before; dma > 0 {
+				// Context recovery re-read host memory over PCIe (Fig. 6)
+				// and posted a special resync descriptor (§4.1).
+				n.Stats.TxRecoveryDMA += dma
+				lg.Charge(cycles.PCIe, cycles.CtxDMA, 0, int(dma))
+			}
+			if e.Stats.Recoveries > recovered {
+				lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerOffloadDescr, 0)
+			}
+		}
+	}
+
+	frame := pkt.Marshal()
+	n.Stats.TxBytes += uint64(len(frame))
+	// Packet payload and descriptor cross PCIe by DMA.
+	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
+	n.send(frame)
+}
+
+// DeliverFrame implements netsim.Endpoint: parse, verify checksums, run
+// receive offload engines, and hand the packet with its verdict flags to
+// the stack.
+func (n *NIC) DeliverFrame(frame []byte) {
+	m := n.cfg.Model
+	lg := n.cfg.Ledger
+	pkt, err := wire.Parse(frame)
+	if err != nil {
+		n.Stats.RxBadFrames++
+		if n.cfg.DropRxChecksumErrors {
+			return
+		}
+		return
+	}
+	n.Stats.RxPackets++
+	n.Stats.RxBytes += uint64(len(frame))
+	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
+	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+
+	var flags meta.RxFlags
+	if engines := n.rx[pkt.Flow]; len(engines) > 0 && len(pkt.Payload) > 0 {
+		n.cacheTouch(cacheKey{flow: pkt.Flow, rx: true})
+		for _, e := range engines {
+			flags |= e.Process(pkt.Seq, pkt.Payload, false)
+		}
+	}
+	n.stack.Input(pkt, flags)
+}
+
+// cacheTouch models the bounded on-NIC context cache: a miss means the
+// context was evicted to host memory and must be reloaded over PCIe.
+func (n *NIC) cacheTouch(k cacheKey) {
+	if n.cfg.CtxCacheFlows <= 0 {
+		return
+	}
+	if el, ok := n.cacheMap[k]; ok {
+		n.cacheList.MoveToFront(el)
+		n.Stats.CtxCacheHits++
+		return
+	}
+	n.Stats.CtxCacheMiss++
+	n.cfg.Ledger.Charge(cycles.PCIe, cycles.CtxDMA, 0, n.cfg.CtxBytes)
+	n.cacheMap[k] = n.cacheList.PushFront(k)
+	for n.cacheList.Len() > n.cfg.CtxCacheFlows {
+		back := n.cacheList.Back()
+		delete(n.cacheMap, back.Value.(cacheKey))
+		n.cacheList.Remove(back)
+		// Write-back of the evicted context.
+		n.cfg.Ledger.Charge(cycles.PCIe, cycles.CtxDMA, 0, n.cfg.CtxBytes)
+	}
+}
+
+func (n *NIC) cacheDrop(k cacheKey) {
+	if el, ok := n.cacheMap[k]; ok {
+		n.cacheList.Remove(el)
+		delete(n.cacheMap, k)
+	}
+}

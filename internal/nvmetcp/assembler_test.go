@@ -1,0 +1,137 @@
+package nvmetcp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cycles"
+	"repro/internal/meta"
+	"repro/internal/tcpip"
+)
+
+// TestAssemblerReassemblesAnyChunking splits a PDU stream at arbitrary
+// boundaries and checks the assembler returns exactly the original PDUs
+// with flags preserved per chunk.
+func TestAssemblerReassemblesAnyChunking(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream []byte
+		var wants [][]byte
+		for i, sz := range sizes {
+			if i >= 6 {
+				break
+			}
+			n := int(sz) % 5000
+			data := make([]byte, n)
+			rng.Read(data)
+			h := &Header{Type: TypeResp, CID: uint16(i), Op: StatusOK,
+				Offset: uint64(i * 1000), DataLen: n}
+			pdu := Build(h, data, false)
+			wants = append(wants, pdu)
+			stream = append(stream, pdu...)
+		}
+		if len(stream) == 0 {
+			return true
+		}
+		var a pduAssembler
+		var got [][]byte
+		seq := uint32(rng.Intn(1 << 30))
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(900)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			a.push(tcpip.Chunk{Seq: seq + uint32(off), Data: stream[off : off+n],
+				Flags: meta.NVMeOffloaded})
+			for {
+				chunks, layout, ok := a.next()
+				if !ok {
+					break
+				}
+				var pdu []byte
+				for _, ch := range chunks {
+					pdu = append(pdu, ch.Data...)
+					if !ch.Flags.Has(meta.NVMeOffloaded) {
+						return false
+					}
+				}
+				if len(pdu) != layout.Total {
+					return false
+				}
+				got = append(got, pdu)
+			}
+			off += n
+		}
+		if len(got) != len(wants) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], wants[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssemblerChunkSeqsContiguous verifies that split chunks keep correct
+// wire sequence numbers (the coordinate resync responses rely on).
+func TestAssemblerChunkSeqsContiguous(t *testing.T) {
+	h := &Header{Type: TypeResp, CID: 1, Op: StatusOK, DataLen: 100}
+	pdu := Build(h, make([]byte, 100), false)
+	var a pduAssembler
+	a.push(tcpip.Chunk{Seq: 500, Data: pdu[:40]})
+	a.push(tcpip.Chunk{Seq: 540, Data: pdu[40:]})
+	chunks, _, ok := a.next()
+	if !ok {
+		t.Fatal("PDU not assembled")
+	}
+	expect := uint32(500)
+	for _, ch := range chunks {
+		if ch.Seq != expect {
+			t.Errorf("chunk seq %d, want %d", ch.Seq, expect)
+		}
+		expect += uint32(len(ch.Data))
+	}
+}
+
+// TestTxRetainerPruning verifies retained capsules are released only after
+// full acknowledgment and that lookups honor message boundaries.
+func TestTxRetainerPruning(t *testing.T) {
+	acked := uint32(1000)
+	model := cycles.DefaultModel()
+	r := &txRetainer{
+		model:  &model,
+		ledger: &cycles.Ledger{},
+		acked:  func() uint32 { return acked },
+	}
+	pduA := Build(&Header{Type: TypeCmd, CID: 1, Op: OpRead, Offset: EncodeReadCmd(0, 1)}, nil, false)
+	pduB := Build(&Header{Type: TypeCmd, CID: 2, Op: OpRead, Offset: EncodeReadCmd(8, 1)}, nil, false)
+	r.addRecord(1000, pduA)
+	r.addRecord(1000+uint32(len(pduA)), pduB)
+
+	if start, idx, ok := r.MsgStateAt(1000 + 5); !ok || start != 1000 || idx != 0 {
+		t.Errorf("MsgStateAt mid-A = (%d,%d,%v)", start, idx, ok)
+	}
+	if start, idx, ok := r.MsgStateAt(1000 + uint32(len(pduA))); !ok || idx != 1 || start != 1000+uint32(len(pduA)) {
+		t.Errorf("MsgStateAt B start = (%d,%d,%v)", start, idx, ok)
+	}
+	got, err := r.StreamBytes(1000, 1000+8)
+	if err != nil || !bytes.Equal(got, pduA[:8]) {
+		t.Errorf("StreamBytes: %v", err)
+	}
+	// Ack through A, then add a third record: A must be pruned.
+	acked = 1000 + uint32(len(pduA))
+	r.addRecord(acked+uint32(len(pduB)), pduA)
+	if _, _, ok := r.MsgStateAt(1000 + 2); ok {
+		t.Error("pruned record still resolvable")
+	}
+	if _, _, ok := r.MsgStateAt(acked + 2); !ok {
+		t.Error("unacked record not resolvable")
+	}
+}

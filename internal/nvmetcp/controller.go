@@ -1,0 +1,187 @@
+package nvmetcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/crc32c"
+	"repro/internal/cycles"
+	"repro/internal/meta"
+	"repro/internal/offload"
+	"repro/internal/stream"
+	"repro/internal/tcpip"
+)
+
+// Read commands carry the block count in the upper bits of the Offset
+// field (the simplified capsule has no SGL descriptors).
+const lbaBits = 40
+
+// EncodeReadCmd packs an LBA and block count into the command Offset.
+func EncodeReadCmd(lba uint64, count int) uint64 {
+	return lba | uint64(count)<<lbaBits
+}
+
+// DecodeReadCmd unpacks an LBA and block count from the command Offset.
+func DecodeReadCmd(off uint64) (lba uint64, count int) {
+	return off & (1<<lbaBits - 1), int(off >> lbaBits)
+}
+
+// CtrlStats counts target-side events.
+type CtrlStats struct {
+	CmdsRead     uint64
+	CmdsWrite    uint64
+	BytesServed  uint64
+	DigestErrors uint64
+}
+
+// Controller is the NVMe-TCP target: it services command capsules from the
+// simulated SSD and streams response capsules back, optionally with the
+// transmit data-digest offload on its own NIC.
+type Controller struct {
+	tr     stream.Stream
+	dev    *blockdev.Device
+	model  *cycles.Model
+	ledger *cycles.Ledger
+
+	// MaxRespData splits large reads into multiple response capsules.
+	MaxRespData int
+
+	txOffloaded bool
+	retain      *txRetainer
+
+	asm  pduAssembler
+	outq [][]byte
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats CtrlStats
+}
+
+// NewController creates a target bound to a device over a transport.
+func NewController(tr stream.Stream, dev *blockdev.Device) *Controller {
+	c := &Controller{
+		tr:          tr,
+		dev:         dev,
+		model:       tr.Model(),
+		ledger:      tr.Ledger(),
+		MaxRespData: 256 << 10,
+	}
+	tr.SetOnData(c.onData)
+	tr.SetOnDrain(func() { c.pump() })
+	return c
+}
+
+// EnableTxOffload installs the transmit data-digest offload for response
+// capsules on the target's NIC.
+func (c *Controller) EnableTxOffload(dev Device) {
+	c.txOffloaded = true
+	c.retain = &txRetainer{model: c.model, ledger: c.ledger, acked: c.tr.AckedSeq}
+	e := offload.NewTxEngine(NewTxOps(c.model, c.ledger), c.retain, c.tr.WriteSeq())
+	dev.AttachTx(c.tr.Flow(), e)
+}
+
+func (c *Controller) onData(ch tcpip.Chunk) {
+	c.asm.push(ch)
+	for {
+		chunks, layout, ok := c.asm.next()
+		if !ok {
+			return
+		}
+		c.handleCmd(chunks, layout)
+	}
+}
+
+func (c *Controller) handleCmd(chunks []tcpip.Chunk, layout offload.MsgLayout) {
+	c.ledger.Charge(cycles.HostL5P, cycles.L5PFraming, c.model.L5PPerMessage, 0)
+	hdrBytes := flattenPrefix(chunks, HeaderLen)
+	hdr := Decode(hdrBytes)
+	if hdr.Type != TypeCmd {
+		return
+	}
+	switch hdr.Op {
+	case OpRead:
+		c.Stats.CmdsRead++
+		lba, count := DecodeReadCmd(hdr.Offset)
+		cid := hdr.CID
+		c.dev.Read(lba, count, func(data []byte) {
+			c.sendReadData(cid, data)
+		})
+	case OpWrite:
+		c.Stats.CmdsWrite++
+		c.handleWrite(chunks, hdr)
+	}
+}
+
+func (c *Controller) handleWrite(chunks []tcpip.Chunk, hdr Header) {
+	data := flattenRange(chunks, HeaderLen, HeaderLen+hdr.DataLen)
+
+	// Verify the data digest unless the NIC already did.
+	verified := true
+	for _, ch := range chunks {
+		if !ch.Flags.Has(meta.NVMeOffloaded | meta.NVMeCRCOK) {
+			verified = false
+			break
+		}
+	}
+	if !verified {
+		c.ledger.Charge(cycles.HostL5P, cycles.CRC, c.model.CRCCycles(hdr.DataLen), hdr.DataLen)
+		wire := flattenRange(chunks, HeaderLen+hdr.DataLen, HeaderLen+hdr.DataLen+DigestLen)
+		if binary.BigEndian.Uint32(wire) != crc32c.Checksum(data) {
+			c.Stats.DigestErrors++
+			c.respond(&Header{Type: TypeResp, CID: hdr.CID, Op: 0x01 /* data error */}, nil)
+			return
+		}
+	}
+	lba, _ := DecodeReadCmd(hdr.Offset)
+	cid := hdr.CID
+	c.dev.Write(lba, data, func() {
+		c.respond(&Header{Type: TypeResp, CID: cid, Op: StatusOK}, nil)
+	})
+}
+
+// sendReadData streams read payload back as one or more response capsules.
+func (c *Controller) sendReadData(cid uint16, data []byte) {
+	c.Stats.BytesServed += uint64(len(data))
+	off := 0
+	for off < len(data) {
+		n := len(data) - off
+		if n > c.MaxRespData {
+			n = c.MaxRespData
+		}
+		c.respond(&Header{
+			Type:    TypeResp,
+			CID:     cid,
+			Op:      StatusOK,
+			Offset:  uint64(off),
+			DataLen: n,
+		}, data[off:off+n])
+		off += n
+	}
+}
+
+func (c *Controller) respond(hdr *Header, data []byte) {
+	pdu := Build(hdr, data, c.txOffloaded)
+	if !c.txOffloaded && hdr.DataLen > 0 {
+		c.ledger.Charge(cycles.HostL5P, cycles.CRC, c.model.CRCCycles(hdr.DataLen), hdr.DataLen)
+	}
+	c.ledger.Charge(cycles.HostL5P, cycles.L5PFraming, c.model.L5PPerMessage, 0)
+	c.ledger.Charge(cycles.HostL5P, cycles.CRC, c.model.CRCCycles(BaseHeaderLen), BaseHeaderLen)
+	c.outq = append(c.outq, pdu)
+	c.pump()
+}
+
+func (c *Controller) pump() {
+	for len(c.outq) > 0 {
+		pdu := c.outq[0]
+		if c.tr.WriteSpace() < len(pdu) {
+			return
+		}
+		if c.retain != nil {
+			c.retain.addRecord(c.tr.WriteSeq(), pdu)
+		}
+		if n := c.tr.WriteZC(pdu); n != len(pdu) {
+			panic(fmt.Sprintf("nvmetcp: short controller write (%d != %d)", n, len(pdu)))
+		}
+		c.outq = c.outq[1:]
+	}
+}

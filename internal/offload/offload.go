@@ -1,0 +1,635 @@
+// Package offload implements the paper's core contribution: the generic
+// autonomous NIC offload engine that processes L5P messages inside the NIC
+// transparently to the software TCP stack (§3–§4).
+//
+// An engine is per flow and per direction. It keeps the constant-size
+// hardware context of §4.1 — the next expected sequence number, the current
+// message's type/length/offset, and L5P state such as cipher streams — and
+// drives one of two state machines:
+//
+//   - Transmit (TxEngine): packets from the stack are usually in sequence;
+//     the engine walks message boundaries and lets the L5P-specific Ops
+//     transform bytes in place (encrypt, fill CRC fields). An
+//     out-of-sequence packet (retransmission) triggers driver-led context
+//     recovery: an upcall fetches the enclosing message's start and index
+//     from L5P software, and the engine replays the message prefix by
+//     DMA-reading it from host memory (Fig. 6), charging the PCIe ledger.
+//
+//   - Receive (RxEngine): in-sequence packets are processed and flagged;
+//     out-of-sequence packets trigger either a deterministic re-lock onto
+//     the next message boundary (when the boundary is visible in the
+//     arriving packet — Fig. 8b) or the hardware-driven recovery of Fig. 7:
+//     speculative magic-pattern search, software confirmation via
+//     l5o_resync_rx_req/resp, length-based tracking, and resumption at the
+//     next message-and-packet boundary (Fig. 8c).
+//
+// The engine is byte-exact: Ops implementations really encrypt, decrypt,
+// digest, and place bytes, so end-to-end tests can assert that offloaded
+// and non-offloaded runs deliver identical application data.
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/meta"
+)
+
+// MsgLayout describes one L5P message's on-wire shape. Body length is
+// Total - Header - Trailer.
+type MsgLayout struct {
+	// Total is the full message length including header and trailer.
+	Total int
+	// Header is the message header length.
+	Header int
+	// Trailer is the trailing integrity field length (ICV, CRC), possibly
+	// zero.
+	Trailer int
+}
+
+func (l MsgLayout) valid(headerLen int) bool {
+	return l.Header == headerLen && l.Trailer >= 0 &&
+		l.Total >= l.Header+l.Trailer
+}
+
+// RxOps is the L5P-specific receive-side processing an engine drives:
+// TLS record decryption/authentication or NVMe-TCP CRC verification and
+// direct data placement.
+type RxOps interface {
+	// HeaderLen is the fixed L5P message header size.
+	HeaderLen() int
+	// ParseHeader validates a complete header — the "magic pattern" check
+	// of §3.3 — and returns the message layout. ok=false means the bytes
+	// cannot be a message header.
+	ParseHeader(hdr []byte) (MsgLayout, bool)
+	// BeginMessage starts in-order processing of a message whose header
+	// was seen in sequence. msgIndex counts messages since offload
+	// creation (the "number of previous messages" the dynamic state may
+	// depend on, §3.2).
+	BeginMessage(layout MsgLayout, hdr []byte, msgIndex uint64)
+	// ResumeMessage starts processing a message whose first `skip` body
+	// bytes were never seen by the NIC (Fig. 8b: the packet containing the
+	// header is not offloaded). Integrity checking is impossible; the Ops
+	// must process the remainder without it.
+	ResumeMessage(layout MsgLayout, hdr []byte, msgIndex uint64, skip int)
+	// Body processes in-sequence body bytes (off is the offset within the
+	// body region; seq is the wire sequence of data's first byte),
+	// transforming data in place if the offload does so.
+	Body(seq uint32, data []byte, off int)
+	// Trailer consumes trailer bytes from the wire (off within trailer).
+	Trailer(seq uint32, data []byte, off int)
+	// EndMessage completes the current message and reports whether its
+	// integrity check passed (true when the check was skipped).
+	EndMessage() bool
+	// AbortMessage discards the in-flight message state.
+	AbortMessage()
+	// NoteDiscontinuity tells the Ops that bytes were skipped (a relock,
+	// search, or blind resumption): stacked consumers of the processed
+	// byte stream (§5.3) must treat the next emission as discontiguous.
+	NoteDiscontinuity()
+	// PacketVerdict translates the engine's per-packet outcome into flag
+	// bits for the SKB: processed says the engine advanced over payload in
+	// this packet; checksOK says no integrity check that completed within
+	// this packet failed.
+	PacketVerdict(processed, checksOK bool) meta.RxFlags
+}
+
+// RxStats counts receive-engine events for the experiments of §6.4.
+type RxStats struct {
+	PktsOffloaded   uint64 // processed fully in sequence
+	PktsBypassed    uint64 // "past" packets (retransmitted duplicates)
+	PktsUnoffloaded uint64 // out-of-sequence or processed while recovering
+	MsgsCompleted   uint64
+	MsgsFailed      uint64 // integrity check failed
+	MsgsBlind       uint64 // resumed mid-message, check skipped
+	Relocks         uint64 // deterministic boundary re-locks (Fig. 8b)
+	ResyncRequests  uint64 // speculative header confirmations requested
+	ResyncConfirms  uint64
+	ResyncRejects   uint64
+	TrackingAborts  uint64 // bad magic while tracking (Fig. 7 d1)
+}
+
+type rxState int
+
+const (
+	rxOffloading rxState = iota
+	rxSearching
+	rxTracking
+)
+
+func (s rxState) String() string {
+	switch s {
+	case rxOffloading:
+		return "offloading"
+	case rxSearching:
+		return "searching"
+	case rxTracking:
+		return "tracking"
+	}
+	return fmt.Sprintf("rxState(%d)", int(s))
+}
+
+// RxEngine is the receive-side hardware context and state machine for one
+// flow. It is not safe for concurrent use (the simulation is
+// single-threaded, as is a NIC pipeline per flow).
+type RxEngine struct {
+	ops RxOps
+	// resyncReq delivers a speculative header sequence number to L5P
+	// software (l5o_resync_rx_req through the driver, §4.1). May be nil
+	// if recovery is disabled.
+	resyncReq func(seq uint32)
+
+	// noRecovery disables all resynchronization (ablation: once the
+	// context desynchronizes, the flow is never offloaded again).
+	noRecovery bool
+
+	// sparse marks a stacked engine (§5.3) whose input coordinates have
+	// holes where the enclosing protocol's framing was skipped: length
+	// arithmetic over sequence numbers is invalid, so contiguity comes
+	// only from the feeder's flag and tracking counts bytes relatively.
+	sparse bool
+	virgin bool // no input consumed yet (sparse engines self-anchor)
+
+	state    rxState
+	expected uint32 // next in-sequence byte (valid while offloading)
+
+	// In-flight message (while offloading).
+	hdrBuf   []byte
+	inMsg    bool
+	layout   MsgLayout
+	msgOff   int // bytes of the current message consumed
+	msgIndex uint64
+
+	// Searching: tail keeps the last HeaderLen-1 bytes so patterns split
+	// across in-sequence packets are still found (§4.3).
+	tailSeq   uint32
+	tail      []byte
+	tailValid bool
+
+	// Tracking.
+	candidateSeq  uint32
+	awaitingResp  bool
+	confirmed     bool
+	confirmedIdx  uint64 // msgIndex at candidateSeq, from the confirmation
+	trackCount    uint64 // complete headers parsed after the candidate
+	nextHdrSeq    uint32
+	trackExpected uint32 // contiguity cursor for header collection
+	trackHdr      []byte
+	lastHdr       []byte    // most recently tracked header bytes
+	lastLayout    MsgLayout // its layout (for blind resumption)
+	sparseToNext  int       // sparse tracking: bytes until the next header
+
+	// Stats is exported for experiments; treat as read-only.
+	Stats RxStats
+}
+
+// NewRxEngine creates a receive engine starting at startSeq, which must be
+// an L5P message boundary (l5o_create's tcpsn, §4.1). resyncReq carries
+// speculative resync requests to L5P software; it may be nil, in which case
+// the engine can only recover deterministically.
+func NewRxEngine(ops RxOps, startSeq uint32, resyncReq func(seq uint32)) *RxEngine {
+	return &RxEngine{ops: ops, resyncReq: resyncReq, state: rxOffloading, expected: startSeq}
+}
+
+// NewSparseRxEngine creates a receive engine for a stacked L5P (§5.3): its
+// input is the byte stream emitted by an enclosing offload engine (e.g.
+// TLS record bodies), whose wire coordinates skip the enclosing framing.
+// The engine trusts the feeder's contiguity flag, never predicts message
+// positions across input gaps, and always recovers through the speculative
+// search + software confirmation path.
+func NewSparseRxEngine(ops RxOps, resyncReq func(seq uint32)) *RxEngine {
+	return &RxEngine{ops: ops, resyncReq: resyncReq, state: rxOffloading,
+		sparse: true, virgin: true}
+}
+
+// DisableRecovery turns off both deterministic re-locking and speculative
+// resynchronization: after the first out-of-sequence packet the engine
+// stays silent forever. Used by the recovery ablation (DESIGN.md).
+func (e *RxEngine) DisableRecovery() { e.noRecovery = true }
+
+// State returns the current FSM state name (for tests and debugging).
+func (e *RxEngine) State() string { return e.state.String() }
+
+// Expected returns the next sequence number the engine can offload.
+func (e *RxEngine) Expected() uint32 { return e.expected }
+
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqSub(a, b uint32) int { return int(int32(a - b)) }
+
+// Process runs the engine over one packet's payload, transforming it in
+// place where the offload dictates, and returns the packet's verdict flags.
+// contiguous forces in-sequence treatment for stacked engines whose feeder
+// skips enclosing-protocol framing bytes (§5.3); TCP-level callers pass
+// false and let the engine compare seq against its context.
+func (e *RxEngine) Process(seq uint32, data []byte, contiguous bool) meta.RxFlags {
+	if len(data) == 0 {
+		return 0
+	}
+	if e.sparse {
+		return e.processSparse(seq, data, contiguous)
+	}
+	switch e.state {
+	case rxOffloading:
+		if seq == e.expected {
+			return e.processInSeq(data)
+		}
+		return e.processOoS(seq, data)
+	case rxSearching:
+		e.Stats.PktsUnoffloaded++
+		if !e.noRecovery {
+			e.search(seq, data)
+		}
+		return e.ops.PacketVerdict(false, true)
+	case rxTracking:
+		e.Stats.PktsUnoffloaded++
+		e.track(seq, data)
+		return e.ops.PacketVerdict(false, true)
+	}
+	panic("offload: bad rx state")
+}
+
+// processInSeq walks message regions across the packet payload.
+func (e *RxEngine) processInSeq(data []byte) meta.RxFlags {
+	e.Stats.PktsOffloaded++
+	checksOK := true
+	hdrLen := e.ops.HeaderLen()
+	pos := 0
+	for pos < len(data) {
+		if !e.inMsg {
+			// Collect header bytes.
+			need := hdrLen - len(e.hdrBuf)
+			n := need
+			if rem := len(data) - pos; rem < n {
+				n = rem
+			}
+			e.hdrBuf = append(e.hdrBuf, data[pos:pos+n]...)
+			pos += n
+			if len(e.hdrBuf) < hdrLen {
+				break
+			}
+			layout, ok := e.ops.ParseHeader(e.hdrBuf)
+			if !ok || !layout.valid(hdrLen) {
+				// The stream under us is not what we thought: lose sync
+				// and fall into speculative search.
+				e.expected += uint32(len(data))
+				e.enterSearching(e.expected-uint32(len(data)-pos), data[pos:])
+				return e.ops.PacketVerdict(true, checksOK)
+			}
+			e.layout = layout
+			e.inMsg = true
+			e.msgOff = hdrLen
+			e.ops.BeginMessage(layout, e.hdrBuf, e.msgIndex)
+			e.hdrBuf = e.hdrBuf[:0]
+			continue
+		}
+		bodyEnd := e.layout.Total - e.layout.Trailer
+		var n int
+		if e.msgOff < bodyEnd {
+			n = bodyEnd - e.msgOff
+			if rem := len(data) - pos; rem < n {
+				n = rem
+			}
+			e.ops.Body(e.expected+uint32(pos), data[pos:pos+n], e.msgOff-e.layout.Header)
+		} else {
+			n = e.layout.Total - e.msgOff
+			if rem := len(data) - pos; rem < n {
+				n = rem
+			}
+			e.ops.Trailer(e.expected+uint32(pos), data[pos:pos+n], e.msgOff-bodyEnd)
+		}
+		e.msgOff += n
+		pos += n
+		if e.msgOff == e.layout.Total {
+			if e.ops.EndMessage() {
+				e.Stats.MsgsCompleted++
+			} else {
+				e.Stats.MsgsFailed++
+				checksOK = false
+			}
+			e.inMsg = false
+			e.msgOff = 0
+			e.msgIndex++
+		}
+	}
+	e.expected += uint32(len(data))
+	return e.ops.PacketVerdict(true, checksOK)
+}
+
+// processOoS handles a packet that does not match the expected sequence
+// while offloading (§4.3 and Fig. 8).
+func (e *RxEngine) processOoS(seq uint32, data []byte) meta.RxFlags {
+	end := seq + uint32(len(data))
+	if seqLE(end, e.expected) {
+		// Entirely in the past: a retransmitted duplicate. Bypass (Fig 8a).
+		e.Stats.PktsBypassed++
+		return e.ops.PacketVerdict(false, true)
+	}
+	if seqLT(seq, e.expected) {
+		// Straddles the expected point (partial retransmission overlap).
+		// Hardware resumes only on packet boundaries: bypass and keep
+		// waiting for a packet that starts at or after expected.
+		e.Stats.PktsBypassed++
+		return e.ops.PacketVerdict(false, true)
+	}
+
+	// Future gap. Compute the sequence number M of the next message
+	// header using the current message's length (§4.3).
+	e.Stats.PktsUnoffloaded++
+	if e.noRecovery {
+		e.enterSearching(seq, nil) // dead state: nothing is ever scanned
+		return e.ops.PacketVerdict(false, true)
+	}
+	var m uint32
+	switch {
+	case e.inMsg:
+		m = e.expected + uint32(e.layout.Total-e.msgOff)
+	case len(e.hdrBuf) > 0:
+		// A header was mid-collection; it started before the gap and can
+		// never be completed. Its message boundary is unknowable — the
+		// partial header bytes are lost with the gap.
+		e.hdrBuf = e.hdrBuf[:0]
+		e.enterSearching(seq, data)
+		return e.ops.PacketVerdict(false, true)
+	default:
+		m = e.expected
+	}
+
+	if seqLT(end, m) || end == m {
+		// P lies entirely inside the current message's remainder: ignore
+		// it; the context still expects the retransmission (Fig 8, case of
+		// packets before M).
+		return e.ops.PacketVerdict(false, true)
+	}
+	if seqLE(seq, m) {
+		// The next message boundary is inside (or at the start of) this
+		// packet: deterministic re-lock (Fig 8b). The packet itself is not
+		// offloaded, but the context is updated from it.
+		e.Stats.Relocks++
+		e.relockAt(m, seq, data)
+		return e.ops.PacketVerdict(false, true)
+	}
+	// The boundary fell inside the gap: we cannot know what came after it.
+	// Hardware-driven recovery (Fig 7 / Fig 8c).
+	e.enterSearching(seq, data)
+	return e.ops.PacketVerdict(false, true)
+}
+
+// relockAt re-anchors the context at message boundary m, which lies within
+// the unoffloaded packet [seq, seq+len(data)).
+func (e *RxEngine) relockAt(m, seq uint32, data []byte) {
+	e.ops.NoteDiscontinuity()
+	if e.inMsg {
+		e.ops.AbortMessage()
+		e.inMsg = false
+	}
+	e.msgIndex++ // the abandoned message still counts
+	e.hdrBuf = e.hdrBuf[:0]
+	hdrLen := e.ops.HeaderLen()
+
+	avail := data[seqSub(m, seq):]
+	if len(avail) < hdrLen {
+		// Header split across the packet boundary: keep collecting; the
+		// rest must arrive in sequence.
+		e.hdrBuf = append(e.hdrBuf, avail...)
+		e.expected = seq + uint32(len(data))
+		return
+	}
+	layout, ok := e.ops.ParseHeader(avail[:hdrLen])
+	if !ok || !layout.valid(hdrLen) {
+		e.enterSearching(seq, data)
+		return
+	}
+	consumed := len(avail) // header + blind prefix of the new message
+	if consumed >= layout.Total {
+		// The whole message (and possibly more) sits inside this
+		// unoffloaded packet: walk boundaries forward without processing.
+		rest := avail
+		for len(rest) >= hdrLen {
+			l, ok2 := e.ops.ParseHeader(rest[:hdrLen])
+			if !ok2 || !l.valid(hdrLen) {
+				e.enterSearching(seq, data)
+				return
+			}
+			if len(rest) < l.Total {
+				e.startBlind(l, rest[:hdrLen], len(rest)-hdrLen)
+				e.expected = seq + uint32(len(data))
+				return
+			}
+			rest = rest[l.Total:]
+			e.msgIndex++
+		}
+		if len(rest) > 0 {
+			e.hdrBuf = append(e.hdrBuf, rest...)
+		}
+		e.expected = seq + uint32(len(data))
+		return
+	}
+	e.startBlind(layout, avail[:hdrLen], consumed-hdrLen)
+	e.expected = seq + uint32(len(data))
+}
+
+// startBlind resumes a message whose first `skip` post-header bytes were
+// inside an unoffloaded packet. Integrity checking for it is skipped.
+func (e *RxEngine) startBlind(layout MsgLayout, hdr []byte, skip int) {
+	e.layout = layout
+	e.inMsg = true
+	e.msgOff = layout.Header + skip
+	e.Stats.MsgsBlind++
+	bodyLen := layout.Total - layout.Header - layout.Trailer
+	opsSkip := skip
+	if opsSkip > bodyLen {
+		opsSkip = bodyLen // the rest of the skip fell in the trailer
+	}
+	e.ops.ResumeMessage(layout, hdr, e.msgIndex, opsSkip)
+}
+
+// enterSearching abandons the context and scans from this packet onward.
+func (e *RxEngine) enterSearching(seq uint32, data []byte) {
+	e.ops.NoteDiscontinuity()
+	if e.inMsg {
+		e.ops.AbortMessage()
+		e.inMsg = false
+	}
+	e.hdrBuf = e.hdrBuf[:0]
+	e.state = rxSearching
+	e.tailValid = false
+	e.awaitingResp = false
+	e.confirmed = false
+	e.search(seq, data)
+}
+
+// search scans packet payload for the L5P magic pattern (Fig. 7 searching
+// state), handling patterns split across consecutive packets.
+func (e *RxEngine) search(seq uint32, data []byte) {
+	hdrLen := e.ops.HeaderLen()
+	var buf []byte
+	var baseSeq uint32
+	if e.tailValid && seq == e.tailSeq+uint32(len(e.tail)) {
+		buf = append(append([]byte(nil), e.tail...), data...)
+		baseSeq = e.tailSeq
+	} else {
+		buf = data
+		baseSeq = seq
+	}
+	for i := 0; i+hdrLen <= len(buf); i++ {
+		layout, ok := e.ops.ParseHeader(buf[i : i+hdrLen])
+		if !ok || !layout.valid(hdrLen) {
+			continue
+		}
+		// Candidate found: ask software to confirm (l5o_resync_rx_req) and
+		// start tracking from here.
+		cand := baseSeq + uint32(i)
+		e.state = rxTracking
+		e.candidateSeq = cand
+		e.awaitingResp = true
+		e.confirmed = false
+		e.trackCount = 0
+		e.nextHdrSeq = cand + uint32(layout.Total)
+		e.trackExpected = baseSeq + uint32(len(buf))
+		e.trackHdr = e.trackHdr[:0]
+		e.lastHdr = append(e.lastHdr[:0], buf[i:i+hdrLen]...)
+		e.lastLayout = layout
+		e.Stats.ResyncRequests++
+		if e.resyncReq != nil {
+			e.resyncReq(cand)
+		}
+		// The rest of this packet may already contain the next header(s).
+		e.trackFrom(cand+uint32(hdrLen), buf[i+hdrLen:], baseSeq+uint32(len(buf)))
+		return
+	}
+	// Keep a tail for split patterns.
+	keep := hdrLen - 1
+	if keep > len(buf) {
+		keep = len(buf)
+	}
+	e.tail = append(e.tail[:0], buf[len(buf)-keep:]...)
+	e.tailSeq = baseSeq + uint32(len(buf)-keep)
+	e.tailValid = true
+}
+
+// track verifies tracked headers as packets arrive (Fig. 7 tracking state).
+func (e *RxEngine) track(seq uint32, data []byte) {
+	end := seq + uint32(len(data))
+	if seqLE(end, e.trackExpected) {
+		return // past data while tracking: irrelevant
+	}
+	if seqLT(e.trackExpected, seq) {
+		// A gap while tracking.
+		if seqLT(e.nextHdrSeq, seq) || len(e.trackHdr) > 0 {
+			// We can no longer verify the tracked chain: start over.
+			e.Stats.TrackingAborts++
+			e.state = rxSearching
+			e.tailValid = false
+			e.awaitingResp = false
+			e.search(seq, data)
+			return
+		}
+		// Gap entirely within a tracked message's body: harmless.
+		e.trackExpected = seq
+	} else if seqLT(seq, e.trackExpected) {
+		data = data[seqSub(e.trackExpected, seq):]
+		seq = e.trackExpected
+	}
+	e.trackFrom(seq, data, end)
+}
+
+// trackFrom consumes tracked bytes beginning at seq, collecting and
+// verifying message headers at each expected boundary.
+func (e *RxEngine) trackFrom(seq uint32, data []byte, newExpected uint32) {
+	hdrLen := e.ops.HeaderLen()
+	for {
+		if seqLT(seq+uint32(len(data)), e.nextHdrSeq) || seq+uint32(len(data)) == e.nextHdrSeq {
+			break // boundary not reached yet
+		}
+		if seqLT(seq, e.nextHdrSeq) {
+			data = data[seqSub(e.nextHdrSeq, seq):]
+			seq = e.nextHdrSeq
+		}
+		// Collect header bytes at the boundary (may span packets).
+		need := hdrLen - len(e.trackHdr)
+		n := need
+		if len(data) < n {
+			n = len(data)
+		}
+		e.trackHdr = append(e.trackHdr, data[:n]...)
+		data = data[n:]
+		seq += uint32(n)
+		if len(e.trackHdr) < hdrLen {
+			break
+		}
+		layout, ok := e.ops.ParseHeader(e.trackHdr)
+		if ok {
+			e.lastHdr = append(e.lastHdr[:0], e.trackHdr...)
+			e.lastLayout = layout
+		}
+		e.trackHdr = e.trackHdr[:0]
+		if !ok || !layout.valid(hdrLen) {
+			// Misidentified: back to searching over what remains (d1).
+			e.Stats.TrackingAborts++
+			e.state = rxSearching
+			e.tailValid = false
+			e.awaitingResp = false
+			if len(data) > 0 {
+				e.search(seq, data)
+			}
+			return
+		}
+		e.trackCount++
+		e.nextHdrSeq += uint32(layout.Total)
+	}
+	e.trackExpected = newExpected
+	e.tryResumeAfterConfirm()
+}
+
+// tryResumeAfterConfirm transitions tracking → offloading once software has
+// confirmed the candidate (Fig. 7 d2). Offloading resumes at the next
+// packet boundary: if that boundary is mid-message, the enclosing message
+// (whose header was parsed while tracking) is blind-resumed so that the
+// *following* message is fully offloaded.
+func (e *RxEngine) tryResumeAfterConfirm() {
+	if e.state != rxTracking || !e.confirmed || len(e.trackHdr) != 0 {
+		return
+	}
+	e.ops.NoteDiscontinuity()
+	e.state = rxOffloading
+	e.expected = e.trackExpected
+	e.inMsg = false
+	e.msgOff = 0
+	e.hdrBuf = e.hdrBuf[:0]
+	e.confirmed = false
+	if e.trackExpected == e.nextHdrSeq {
+		// The next packet begins exactly at a message boundary.
+		e.msgIndex = e.confirmedIdx + e.trackCount + 1
+		return
+	}
+	// Mid-message: resume the enclosing message without its prefix.
+	e.msgIndex = e.confirmedIdx + e.trackCount
+	msgStart := e.nextHdrSeq - uint32(e.lastLayout.Total)
+	skip := seqSub(e.trackExpected, msgStart) - e.ops.HeaderLen()
+	e.startBlind(e.lastLayout, e.lastHdr, skip)
+}
+
+// ResyncResponse delivers L5P software's answer to a speculative header
+// identification (l5o_resync_rx_resp, §4.1). msgIndex is the number of
+// messages preceding the confirmed header — the information that lets the
+// NIC rebuild dynamic state at a message boundary (§3.3).
+func (e *RxEngine) ResyncResponse(seq uint32, ok bool, msgIndex uint64) {
+	if e.state != rxTracking || !e.awaitingResp || seq != e.candidateSeq {
+		return // stale response for an abandoned candidate
+	}
+	e.awaitingResp = false
+	if !ok {
+		e.Stats.ResyncRejects++
+		e.state = rxSearching
+		e.tailValid = false
+		return
+	}
+	e.Stats.ResyncConfirms++
+	e.confirmed = true
+	e.confirmedIdx = msgIndex
+	if e.sparse {
+		e.tryResumeSparse()
+	} else {
+		e.tryResumeAfterConfirm()
+	}
+}

@@ -1,0 +1,193 @@
+package offload
+
+import "repro/internal/meta"
+
+// This file implements the sparse (stacked) receive mode of §5.3: the
+// engine's input is the plaintext stream an enclosing offload engine emits
+// (e.g. TLS record bodies), so wire sequence numbers are only valid within
+// a single emission — between emissions the enclosing framing leaves holes.
+// Consequences relative to the TCP-level mode:
+//
+//   - In-sequence is defined by the feeder's contiguity flag, not by
+//     sequence arithmetic.
+//   - There is no deterministic re-lock (Fig. 8b): the position of the next
+//     message cannot be computed across a gap of unknown plaintext size.
+//     Every discontinuity goes through speculative search + confirmation.
+//   - Tracking counts bytes *relatively* from the candidate header; the
+//     candidate's wire sequence number is still exact (a message header is
+//     a real wire position both sides compute identically), which is what
+//     the software confirmation matches against.
+
+func (e *RxEngine) processSparse(seq uint32, data []byte, contiguous bool) meta.RxFlags {
+	switch e.state {
+	case rxOffloading:
+		if contiguous || e.virgin {
+			e.virgin = false
+			e.expected = seq
+			return e.processInSeq(data)
+		}
+		e.Stats.PktsUnoffloaded++
+		e.ops.NoteDiscontinuity()
+		if e.inMsg {
+			e.ops.AbortMessage()
+			e.inMsg = false
+		}
+		e.hdrBuf = e.hdrBuf[:0]
+		e.state = rxSearching
+		e.tailValid = false
+		e.awaitingResp = false
+		e.confirmed = false
+		e.searchSparse(seq, data, false)
+		return e.ops.PacketVerdict(false, true)
+	case rxSearching:
+		e.Stats.PktsUnoffloaded++
+		e.searchSparse(seq, data, contiguous)
+		return e.ops.PacketVerdict(false, true)
+	case rxTracking:
+		e.Stats.PktsUnoffloaded++
+		if !contiguous {
+			// The tracked chain broke: whatever we counted is void.
+			e.Stats.TrackingAborts++
+			e.state = rxSearching
+			e.tailValid = false
+			e.awaitingResp = false
+			e.confirmed = false
+			e.trackHdr = e.trackHdr[:0]
+			e.searchSparse(seq, data, false)
+			return e.ops.PacketVerdict(false, true)
+		}
+		e.trackConsumeSparse(seq, data)
+		return e.ops.PacketVerdict(false, true)
+	}
+	panic("offload: bad sparse rx state")
+}
+
+// searchSparse scans an emission for the magic pattern. Patterns split
+// across emissions are found only when the emissions are contiguous.
+func (e *RxEngine) searchSparse(seq uint32, data []byte, contiguous bool) {
+	hdrLen := e.ops.HeaderLen()
+	var buf []byte
+	var tailLen int
+	if e.tailValid && contiguous {
+		buf = append(append([]byte(nil), e.tail...), data...)
+		tailLen = len(e.tail)
+	} else {
+		buf = data
+	}
+	wireSeqAt := func(i int) uint32 {
+		if i < tailLen {
+			return e.tailSeq + uint32(i)
+		}
+		return seq + uint32(i-tailLen)
+	}
+	for i := 0; i+hdrLen <= len(buf); i++ {
+		layout, ok := e.ops.ParseHeader(buf[i : i+hdrLen])
+		if !ok || !layout.valid(hdrLen) {
+			continue
+		}
+		cand := wireSeqAt(i)
+		e.state = rxTracking
+		e.candidateSeq = cand
+		e.awaitingResp = true
+		e.confirmed = false
+		e.trackCount = 0
+		e.trackHdr = e.trackHdr[:0]
+		e.lastHdr = append(e.lastHdr[:0], buf[i:i+hdrLen]...)
+		e.lastLayout = layout
+		e.sparseToNext = layout.Total - hdrLen
+		e.Stats.ResyncRequests++
+		if e.resyncReq != nil {
+			e.resyncReq(cand)
+		}
+		// Consume the rest of this emission under tracking. Wire seq for
+		// the remainder: it lies within `data` unless the candidate's
+		// header ends inside the tail (then the rest starts at seq +
+		// whatever of data the header consumed).
+		rest := buf[i+hdrLen:]
+		restSeq := seq
+		if i+hdrLen > tailLen {
+			restSeq = seq + uint32(i+hdrLen-tailLen)
+		}
+		e.trackConsumeSparse(restSeq, rest)
+		return
+	}
+	keep := hdrLen - 1
+	if keep > len(buf) {
+		keep = len(buf)
+	}
+	e.tail = append(e.tail[:0], buf[len(buf)-keep:]...)
+	e.tailSeq = wireSeqAt(len(buf) - keep)
+	e.tailValid = true
+}
+
+// trackConsumeSparse advances the relative tracker over one contiguous
+// emission, verifying headers at each counted boundary.
+func (e *RxEngine) trackConsumeSparse(seq uint32, data []byte) {
+	hdrLen := e.ops.HeaderLen()
+	for len(data) > 0 {
+		if len(e.trackHdr) > 0 || e.sparseToNext == 0 {
+			need := hdrLen - len(e.trackHdr)
+			n := need
+			if len(data) < n {
+				n = len(data)
+			}
+			e.trackHdr = append(e.trackHdr, data[:n]...)
+			data = data[n:]
+			seq += uint32(n)
+			if len(e.trackHdr) < hdrLen {
+				break
+			}
+			layout, ok := e.ops.ParseHeader(e.trackHdr)
+			if ok {
+				e.lastHdr = append(e.lastHdr[:0], e.trackHdr...)
+				e.lastLayout = layout
+			}
+			e.trackHdr = e.trackHdr[:0]
+			if !ok || !layout.valid(hdrLen) {
+				// Misidentified candidate (Fig. 7 d1).
+				e.Stats.TrackingAborts++
+				e.state = rxSearching
+				e.tailValid = false
+				e.awaitingResp = false
+				e.confirmed = false
+				if len(data) > 0 {
+					e.searchSparse(seq, data, false)
+				}
+				return
+			}
+			e.trackCount++
+			e.sparseToNext = layout.Total - hdrLen
+			continue
+		}
+		n := e.sparseToNext
+		if len(data) < n {
+			n = len(data)
+		}
+		e.sparseToNext -= n
+		data = data[n:]
+		seq += uint32(n)
+	}
+	e.tryResumeSparse()
+}
+
+// tryResumeSparse resumes offloading at the current emission boundary once
+// software has confirmed the candidate (Fig. 7 d2), blind-resuming the
+// enclosing message when the boundary is mid-message.
+func (e *RxEngine) tryResumeSparse() {
+	if e.state != rxTracking || !e.confirmed || len(e.trackHdr) != 0 {
+		return
+	}
+	e.ops.NoteDiscontinuity()
+	e.state = rxOffloading
+	e.inMsg = false
+	e.msgOff = 0
+	e.hdrBuf = e.hdrBuf[:0]
+	e.confirmed = false
+	if e.sparseToNext == 0 {
+		e.msgIndex = e.confirmedIdx + e.trackCount + 1
+		return
+	}
+	e.msgIndex = e.confirmedIdx + e.trackCount
+	skip := e.lastLayout.Total - e.ops.HeaderLen() - e.sparseToNext
+	e.startBlind(e.lastLayout, e.lastHdr, skip)
+}

@@ -1,0 +1,150 @@
+// Package paperdata embeds the motivation-section datasets of the paper
+// that describe the outside world rather than anything executable: the
+// Linux TCP/IP stack's lines-of-code history (Fig. 3), Mellanox ConnectX
+// price points (Fig. 4), and the offload capabilities each NIC generation
+// introduced (Table 2).
+//
+// The values are digitized from the paper's figures; they are data, not
+// measurements this repository produces. They are included so that the
+// benchmark harness can regenerate every figure the paper prints.
+package paperdata
+
+// LoCRow is one year of Linux kernel networking code size (Fig. 3),
+// in lines of code per component.
+type LoCRow struct {
+	Year     int
+	Total    map[string]int // component → total LoC
+	Modified map[string]int // component → LoC modified that year
+}
+
+// LoCComponents lists Fig. 3's components in display order.
+var LoCComponents = []string{"ipv4", "ipv4/tcp", "ipv6", "ipv6/tcp", "core", "sched", "ethernet"}
+
+// LinuxNetLoC is Fig. 3's dataset: the Linux TCP/IP stack grows from
+// ≈250K to ≈400K LoC across the decade with 5–25% of each component
+// modified every year — the maintenance burden that makes hard-wiring
+// TCP into NICs (dependent offloads) untenable (§2.4).
+var LinuxNetLoC = []LoCRow{
+	{2010, loc(52, 19, 42, 9, 61, 25, 45), loc(9, 4, 7, 2, 13, 5, 8)},
+	{2011, loc(54, 20, 44, 9, 65, 27, 48), loc(8, 3, 6, 2, 14, 6, 9)},
+	{2012, loc(56, 21, 46, 10, 70, 29, 51), loc(10, 4, 8, 2, 16, 7, 10)},
+	{2013, loc(58, 22, 48, 10, 76, 32, 55), loc(11, 5, 9, 3, 18, 8, 11)},
+	{2014, loc(60, 23, 50, 11, 82, 35, 58), loc(10, 4, 8, 2, 17, 9, 12)},
+	{2015, loc(61, 23, 52, 11, 88, 39, 61), loc(9, 4, 9, 3, 19, 10, 12)},
+	{2016, loc(63, 24, 53, 12, 94, 43, 64), loc(11, 5, 8, 3, 21, 11, 13)},
+	{2017, loc(64, 25, 55, 12, 100, 47, 67), loc(10, 5, 9, 3, 22, 12, 14)},
+	{2018, loc(66, 25, 56, 13, 107, 52, 70), loc(12, 5, 10, 3, 24, 13, 15)},
+	{2019, loc(67, 26, 58, 13, 113, 56, 73), loc(11, 5, 9, 3, 23, 14, 15)},
+}
+
+func loc(vals ...int) map[string]int {
+	m := make(map[string]int, len(LoCComponents))
+	for i, c := range LoCComponents {
+		m[c] = vals[i] * 1000
+	}
+	return m
+}
+
+// TotalLoC sums a row's components.
+func (r LoCRow) TotalLoC() int {
+	sum := 0
+	for _, v := range r.Total {
+		sum += v
+	}
+	return sum
+}
+
+// ModifiedLoC sums a row's modified lines.
+func (r LoCRow) ModifiedLoC() int {
+	sum := 0
+	for _, v := range r.Modified {
+		sum += v
+	}
+	return sum
+}
+
+// Generation describes one ConnectX generation (Table 2).
+type Generation struct {
+	Gen      int
+	Year     int
+	Offloads []string
+}
+
+// ConnectXGenerations is Table 2: each generation adds offloads.
+var ConnectXGenerations = []Generation{
+	{3, 2011, []string{
+		"stateless checksum",
+		"LSO for TCP over VXLAN and NVGRE",
+	}},
+	{4, 2014, []string{
+		"LRO", "RSS", "VLAN insertion/stripping", "ARFS",
+		"on-demand paging", "T10-DIF signature offload",
+	}},
+	{5, 2016, []string{
+		"header rewrite", "adaptive routing for RDMA", "NVMe over fabric",
+		"host chaining", "MPI tag matching and rendezvous", "USO",
+	}},
+	{6, 2019, []string{
+		"block-level AES-XTS 256/512",
+	}},
+}
+
+// PricePoint is one NIC price from the March 2020 Mellanox list (Fig. 4).
+type PricePoint struct {
+	Gen   int
+	Model string // EN / LX / VPI
+	Gbps  int
+	Ports int
+	GenYr int
+	USD   int
+}
+
+// ConnectXPrices is Fig. 4's dataset. The figure's conclusion: price is
+// set by throughput × ports, not by generation — newer generations'
+// additional offloads come essentially for free (§2.5).
+var ConnectXPrices = []PricePoint{
+	{3, "EN", 10, 1, 2011, 180}, {3, "EN", 10, 2, 2011, 260},
+	{3, "VPI", 40, 1, 2011, 420}, {3, "VPI", 40, 2, 2011, 560},
+	{4, "LX", 10, 1, 2014, 185}, {4, "LX", 10, 2, 2014, 265},
+	{4, "LX", 25, 1, 2014, 245}, {4, "LX", 25, 2, 2014, 325},
+	{4, "VPI", 40, 1, 2014, 430}, {4, "VPI", 40, 2, 2014, 575},
+	{4, "VPI", 50, 1, 2014, 470}, {4, "VPI", 50, 2, 2014, 620},
+	{4, "VPI", 100, 1, 2014, 720}, {4, "VPI", 100, 2, 2014, 900},
+	{5, "EN", 25, 1, 2016, 250}, {5, "EN", 25, 2, 2016, 330},
+	{5, "EN", 50, 1, 2016, 465}, {5, "EN", 50, 2, 2016, 615},
+	{5, "EN", 100, 1, 2016, 715}, {5, "EN", 100, 2, 2016, 895},
+	{5, "VPI", 100, 1, 2016, 730}, {5, "VPI", 100, 2, 2016, 910},
+	{6, "VPI", 100, 1, 2019, 725}, {6, "VPI", 100, 2, 2019, 905},
+}
+
+// PriceSimilarity reports, for NICs that agree on throughput and port
+// count, the max relative price spread across generations. The paper's
+// claim is that this spread is small.
+func PriceSimilarity() float64 {
+	type key struct{ gbps, ports int }
+	groups := make(map[key][]int)
+	for _, p := range ConnectXPrices {
+		k := key{p.Gbps, p.Ports}
+		groups[k] = append(groups[k], p.USD)
+	}
+	worst := 0.0
+	for _, prices := range groups {
+		if len(prices) < 2 {
+			continue
+		}
+		lo, hi := prices[0], prices[0]
+		for _, p := range prices {
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		spread := float64(hi-lo) / float64(lo)
+		if spread > worst {
+			worst = spread
+		}
+	}
+	return worst
+}

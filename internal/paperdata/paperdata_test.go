@@ -1,0 +1,65 @@
+package paperdata
+
+import "testing"
+
+func TestLinuxNetLoCShape(t *testing.T) {
+	// Fig. 3's qualitative claims: the stack grows monotonically from
+	// ≈250K to ≈400K LoC, and every component churns 5–25% per year.
+	prev := 0
+	for _, r := range LinuxNetLoC {
+		tot := r.TotalLoC()
+		if tot <= prev {
+			t.Errorf("%d: total %d not growing (prev %d)", r.Year, tot, prev)
+		}
+		prev = tot
+		for _, c := range LoCComponents {
+			total, mod := r.Total[c], r.Modified[c]
+			if total == 0 {
+				t.Fatalf("%d: component %q missing", r.Year, c)
+			}
+			share := float64(mod) / float64(total)
+			if share < 0.05 || share > 0.30 {
+				t.Errorf("%d %s: modified share %.2f outside the paper's 5–25%% band",
+					r.Year, c, share)
+			}
+		}
+	}
+	first, last := LinuxNetLoC[0].TotalLoC(), LinuxNetLoC[len(LinuxNetLoC)-1].TotalLoC()
+	if first < 200_000 || first > 300_000 || last < 350_000 || last > 450_000 {
+		t.Errorf("endpoints %d → %d outside the paper's ≈250K→400K", first, last)
+	}
+}
+
+func TestGenerationsOrdered(t *testing.T) {
+	prevGen, prevYear := 0, 0
+	for _, g := range ConnectXGenerations {
+		if g.Gen <= prevGen || g.Year <= prevYear {
+			t.Errorf("generation %d (%d) out of order", g.Gen, g.Year)
+		}
+		if len(g.Offloads) == 0 {
+			t.Errorf("generation %d lists no offloads", g.Gen)
+		}
+		prevGen, prevYear = g.Gen, g.Year
+	}
+}
+
+func TestPriceSimilarity(t *testing.T) {
+	// The paper's claim: same speed×ports ⇒ similar price across
+	// generations, despite the added offloads.
+	if spread := PriceSimilarity(); spread > 0.10 {
+		t.Errorf("price spread %.2f exceeds 10%%", spread)
+	}
+}
+
+func TestPricesScaleWithSpeedAndPorts(t *testing.T) {
+	// Within a generation, more Gbps or more ports never costs less.
+	for _, a := range ConnectXPrices {
+		for _, b := range ConnectXPrices {
+			if a.Gen == b.Gen && a.Model == b.Model &&
+				a.Gbps >= b.Gbps && a.Ports >= b.Ports && a.USD < b.USD {
+				t.Errorf("gen%d %s %dG/%dp ($%d) cheaper than %dG/%dp ($%d)",
+					a.Gen, a.Model, a.Gbps, a.Ports, a.USD, b.Gbps, b.Ports, b.USD)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package sctp implements the paper's §7 middle case: an SCTP-like
+// message-chunk protocol over UDP datagrams. Each chunk carries a
+// transmission sequence number and Begin/End flags, so a receiver NIC that
+// loses its place after a gap resumes *deterministically* at the next
+// chunk whose Begin flag is set — no magic-pattern speculation and no
+// software confirmation protocol, unlike TCP-based offloads ("similar to,
+// but easier than TCP", §7).
+//
+// The offloaded operation is the per-message CRC32C digest carried by the
+// End chunk. Reliability is out of scope (the paper's point is boundary
+// identification): messages with lost chunks are simply not delivered.
+//
+// Chunk format: tsn(4) | flags(1: bit0=Begin, bit1=End) | reserved(1) |
+// length(2) | payload [| digest(4) when End].
+package sctp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crc32c"
+	"repro/internal/cycles"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Chunk format constants.
+const (
+	// ChunkHeaderLen is the per-chunk header size.
+	ChunkHeaderLen = 8
+	// DigestLen is the per-message CRC32C carried by the End chunk.
+	DigestLen = 4
+	// MaxChunkPayload fits one chunk in an MTU-sized datagram.
+	MaxChunkPayload = 1200
+
+	flagBegin = 0x01
+	flagEnd   = 0x02
+)
+
+// Stats counts peer events.
+type Stats struct {
+	ChunksSent    uint64
+	MsgsSent      uint64
+	ChunksRx      uint64
+	MsgsDelivered uint64
+	MsgsDropped   uint64 // lost chunks (unreliable mode)
+	DigestErrors  uint64
+
+	// NICResumes counts deterministic resumptions at Begin chunks after a
+	// TSN gap — the §7 contrast with TCP's speculative resync (which this
+	// protocol never needs).
+	NICResumes  uint64
+	NICVerified uint64 // messages whose digest the NIC checked
+	SwVerified  uint64 // software-verified messages (offload off or gap)
+}
+
+// Peer is one end of an association.
+type Peer struct {
+	model  *cycles.Model
+	ledger *cycles.Ledger
+	send   func(frame []byte)
+	local  wire.Addr
+
+	txTSN uint32
+
+	// Receive reassembly (software).
+	rxMsg      []byte
+	rxNextTSN  uint32
+	rxStarted  bool
+	nicCovered bool // NIC digest-verified every chunk so far
+
+	// NIC-side offload state: the digest context the device keeps.
+	offload   bool
+	nicCRC    uint32
+	nicInMsg  bool
+	nicNext   uint32
+	nicSynced bool
+
+	// OnMessage receives complete, verified messages.
+	OnMessage func(payload []byte)
+
+	// Stats is exported; treat as read-only.
+	Stats Stats
+}
+
+// NewPeer creates a peer bound to local; send transmits frames.
+func NewPeer(model *cycles.Model, ledger *cycles.Ledger, send func([]byte),
+	local wire.Addr, offload bool) *Peer {
+	return &Peer{model: model, ledger: ledger, send: send, local: local, offload: offload}
+}
+
+var _ netsim.Endpoint = (*Peer)(nil)
+
+// Send fragments a message into chunks and transmits them. The digest in
+// the End chunk is always computed by the sender's host here (the §7
+// discussion concerns the receive side).
+func (p *Peer) Send(remote wire.Addr, msg []byte) {
+	p.Stats.MsgsSent++
+	digest := crc32c.Checksum(msg)
+	p.ledger.Charge(cycles.HostL5P, cycles.CRC, p.model.CRCCycles(len(msg)), len(msg))
+	for off := 0; ; {
+		n := len(msg) - off
+		if n > MaxChunkPayload {
+			n = MaxChunkPayload
+		}
+		last := off+n == len(msg)
+		var flags byte
+		if off == 0 {
+			flags |= flagBegin
+		}
+		if last {
+			flags |= flagEnd
+		}
+		total := ChunkHeaderLen + n
+		if last {
+			total += DigestLen
+		}
+		chunk := make([]byte, total)
+		binary.BigEndian.PutUint32(chunk[0:4], p.txTSN)
+		chunk[4] = flags
+		binary.BigEndian.PutUint16(chunk[6:8], uint16(n))
+		copy(chunk[ChunkHeaderLen:], msg[off:off+n])
+		if last {
+			binary.BigEndian.PutUint32(chunk[ChunkHeaderLen+n:], digest)
+		}
+		p.txTSN++
+		p.Stats.ChunksSent++
+		d := &wire.Datagram{Flow: wire.FlowID{Src: p.local, Dst: remote}, Payload: chunk}
+		p.send(d.Marshal())
+		off += n
+		if last {
+			return
+		}
+	}
+}
+
+// DeliverFrame implements netsim.Endpoint: the NIC-side digest engine runs
+// first (when offloaded), then software reassembly.
+func (p *Peer) DeliverFrame(frame []byte) {
+	d, err := wire.ParseUDP(frame)
+	if err != nil || d.Flow.Dst != p.local {
+		return
+	}
+	chunk := d.Payload
+	if len(chunk) < ChunkHeaderLen {
+		return
+	}
+	tsn := binary.BigEndian.Uint32(chunk[0:4])
+	flags := chunk[4]
+	n := int(binary.BigEndian.Uint16(chunk[6:8]))
+	end := flags&flagEnd != 0
+	want := ChunkHeaderLen + n
+	if end {
+		want += DigestLen
+	}
+	if len(chunk) != want {
+		return
+	}
+	payload := chunk[ChunkHeaderLen : ChunkHeaderLen+n]
+	p.Stats.ChunksRx++
+
+	nicOK := false
+	if p.offload {
+		nicOK = p.nicChunk(tsn, flags, payload, chunk[ChunkHeaderLen+n:])
+	}
+	p.swChunk(tsn, flags, payload, chunk[ChunkHeaderLen+n:], nicOK)
+}
+
+// nicChunk is the device-side engine: a running CRC plus the next expected
+// TSN. Any gap drops the message state; the next Begin chunk restarts it —
+// deterministically, with zero software involvement (§7).
+func (p *Peer) nicChunk(tsn uint32, flags byte, payload, trailer []byte) bool {
+	if flags&flagBegin != 0 {
+		if !p.nicSynced || tsn != p.nicNext {
+			p.Stats.NICResumes++
+		}
+		p.nicCRC = 0
+		p.nicInMsg = true
+		p.nicSynced = true
+		p.nicNext = tsn
+	} else if !p.nicSynced || tsn != p.nicNext || !p.nicInMsg {
+		// Mid-message chunk after a gap: unverifiable; wait for a Begin.
+		p.nicInMsg = false
+		p.nicSynced = true
+		p.nicNext = tsn + 1
+		return false
+	}
+	p.nicNext = tsn + 1
+	p.ledger.Charge(cycles.NIC, cycles.CRC, p.model.CRCCycles(len(payload)), len(payload))
+	p.nicCRC = crc32c.Update(p.nicCRC, payload)
+	if flags&flagEnd != 0 {
+		p.nicInMsg = false
+		ok := binary.BigEndian.Uint32(trailer) == p.nicCRC
+		if ok {
+			p.Stats.NICVerified++
+		}
+		return ok
+	}
+	return true // verified so far; completion decided at the End chunk
+}
+
+// swChunk is the software reassembler. nicOK carries the device's verdict
+// for this chunk (digest validated through this chunk / at the End).
+func (p *Peer) swChunk(tsn uint32, flags byte, payload, trailer []byte, nicOK bool) {
+	if flags&flagBegin != 0 {
+		if p.rxStarted {
+			p.Stats.MsgsDropped++ // previous message never completed
+		}
+		p.rxMsg = p.rxMsg[:0]
+		p.rxStarted = true
+		p.nicCovered = nicOK
+		p.rxNextTSN = tsn
+	} else if !p.rxStarted || tsn != p.rxNextTSN {
+		// Gap: the in-flight message is unrecoverable (unreliable mode).
+		if p.rxStarted {
+			p.Stats.MsgsDropped++
+			p.rxStarted = false
+		}
+		return
+	}
+	p.rxNextTSN = tsn + 1
+	p.rxMsg = append(p.rxMsg, payload...)
+	p.nicCovered = p.nicCovered && nicOK
+
+	if flags&flagEnd == 0 {
+		return
+	}
+	p.rxStarted = false
+	if p.offload && p.nicCovered {
+		// The device verified the digest; software skips it.
+	} else {
+		p.ledger.Charge(cycles.HostL5P, cycles.CRC, p.model.CRCCycles(len(p.rxMsg)), len(p.rxMsg))
+		p.Stats.SwVerified++
+		if binary.BigEndian.Uint32(trailer) != crc32c.Checksum(p.rxMsg) {
+			p.Stats.DigestErrors++
+			return
+		}
+	}
+	p.Stats.MsgsDelivered++
+	if p.OnMessage != nil {
+		p.OnMessage(append([]byte(nil), p.rxMsg...))
+	}
+}
+
+// String summarizes the peer's counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("delivered=%d dropped=%d nicVerified=%d swVerified=%d resumes=%d",
+		s.MsgsDelivered, s.MsgsDropped, s.NICVerified, s.SwVerified, s.NICResumes)
+}

@@ -1,0 +1,976 @@
+// Package tcpip is a from-scratch TCP implementation over the simulated
+// link: three-way handshake, MSS segmentation, cumulative acknowledgments,
+// retransmission (RTO with exponential backoff and fast retransmit on three
+// duplicate ACKs), NewReno-style congestion control, out-of-order
+// reassembly, receive-window flow control, and FIN teardown.
+//
+// The paper's central design constraint is that the NIC offload must be
+// *transparent* to an unmodified software TCP stack (§1, §3). This package
+// plays the role of the Linux TCP/IP stack: it knows nothing about
+// offloads except that received chunks carry opaque per-packet metadata
+// flags (meta.RxFlags) which it must preserve without coalescing across
+// differing values (§4.3), and that transmitted bytes must remain readable
+// until acknowledged so the driver can reconstruct NIC contexts from them
+// (§4.2, Fig. 6).
+package tcpip
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/meta"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// WindowShift scales the 16-bit window field (RFC 7323 window scaling,
+// fixed at 2^10 here): advertised windows are in KiB units.
+const WindowShift = 10
+
+// NetDevice is the stack's output: the simulated NIC (or a loopback in
+// tests). The device owns frame serialization and transmit-side offloads.
+type NetDevice interface {
+	// Transmit sends one TCP packet toward the peer. The packet's payload
+	// is owned by the device from this point on (the stack passes a copy,
+	// because offload engines transform payload in place).
+	Transmit(pkt *wire.Packet)
+}
+
+// Stack is one host's TCP/IP stack.
+type Stack struct {
+	sim    *netsim.Simulator
+	dev    NetDevice
+	model  *cycles.Model
+	ledger *cycles.Ledger
+	ip     [4]byte
+
+	listeners map[uint16]func(*Socket)
+	socks     map[wire.FlowID]*Socket
+	nextPort  uint16
+	issSeed   uint32
+
+	// Stats counts stack-level events.
+	Stats StackStats
+}
+
+// StackStats counts stack-level events for tests and experiments.
+type StackStats struct {
+	PacketsIn       uint64
+	PacketsOut      uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	OutOfOrderIn    uint64
+}
+
+// NewStack creates a stack for the host with the given IP. The ledger
+// receives the host's TCP cycle charges; the device is attached later with
+// SetDevice (the NIC needs the stack reference too).
+func NewStack(sim *netsim.Simulator, ip [4]byte, model *cycles.Model, ledger *cycles.Ledger) *Stack {
+	return &Stack{
+		sim:       sim,
+		model:     model,
+		ledger:    ledger,
+		ip:        ip,
+		listeners: make(map[uint16]func(*Socket)),
+		socks:     make(map[wire.FlowID]*Socket),
+		nextPort:  33000,
+		issSeed:   uint32(ip[3])*1000 + 1,
+	}
+}
+
+// SetDevice attaches the output device.
+func (st *Stack) SetDevice(dev NetDevice) { st.dev = dev }
+
+// SetISS overrides the initial-sequence-number seed for sockets created
+// afterwards. Tests use it to exercise 32-bit sequence wraparound.
+func (st *Stack) SetISS(base uint32) { st.issSeed = base }
+
+// IP returns the stack's address.
+func (st *Stack) IP() [4]byte { return st.ip }
+
+// Sim returns the simulator driving this stack.
+func (st *Stack) Sim() *netsim.Simulator { return st.sim }
+
+// Model returns the host's cycle cost model.
+func (st *Stack) Model() *cycles.Model { return st.model }
+
+// Ledger returns the host's cycle ledger.
+func (st *Stack) Ledger() *cycles.Ledger { return st.ledger }
+
+// Listen registers an accept callback for the given local port. The
+// callback fires when a connection reaches the established state.
+func (st *Stack) Listen(port uint16, onAccept func(*Socket)) {
+	st.listeners[port] = onAccept
+}
+
+// Connect opens a connection to remote and returns the socket immediately
+// (state SynSent). onEstablished, if non-nil, fires when the handshake
+// completes.
+func (st *Stack) Connect(remote wire.Addr, onEstablished func(*Socket)) *Socket {
+	local := wire.Addr{IP: st.ip, Port: st.nextPort}
+	st.nextPort++
+	flow := wire.FlowID{Src: local, Dst: remote}
+	s := st.newSocket(flow)
+	s.OnEstablished = onEstablished
+	s.state = stateSynSent
+	s.sendControl(wire.FlagSYN, s.iss)
+	s.sndNxt = s.iss + 1
+	s.armRTO()
+	return s
+}
+
+func (st *Stack) minRTO() time.Duration {
+	return time.Duration(st.model.MinRTOMicros) * time.Microsecond
+}
+
+func (st *Stack) maxRTO() time.Duration {
+	return time.Duration(st.model.MaxRTOMicros) * time.Microsecond
+}
+
+func (st *Stack) newSocket(flow wire.FlowID) *Socket {
+	s := &Socket{
+		stack:      st,
+		flow:       flow,
+		iss:        st.issSeed,
+		sndBufCap:  defaultSndBuf,
+		rcvBufCap:  defaultRcvBuf,
+		cwnd:       10 * st.model.MSS(),
+		ssthresh:   1 << 30,
+		rto:        initialRTO,
+		peerWindow: st.model.MSS(), // until first segment arrives
+	}
+	st.issSeed += 64013
+	s.sndUna = s.iss
+	s.sndNxt = s.iss
+	st.socks[flow] = s
+	return s
+}
+
+// Input delivers a received, already-parsed packet from the NIC, together
+// with the NIC's per-packet offload verdict flags.
+func (st *Stack) Input(pkt *wire.Packet, flags meta.RxFlags) {
+	st.Stats.PacketsIn++
+	rxCost := st.model.StackRxPerPacket
+	if len(pkt.Payload) == 0 {
+		rxCost *= st.model.AckRxFactor
+	}
+	st.ledger.Charge(cycles.HostTCP, cycles.StackRx, rxCost, len(pkt.Payload))
+
+	// The packet's flow is remote→local; sockets are keyed local→remote.
+	key := pkt.Flow.Reverse()
+	s, ok := st.socks[key]
+	if !ok {
+		if pkt.Flags&wire.FlagSYN != 0 && pkt.Flags&wire.FlagACK == 0 {
+			if accept, ok := st.listeners[pkt.Flow.Dst.Port]; ok {
+				s := st.newSocket(key)
+				s.onAccept = accept
+				s.state = stateSynRcvd
+				s.rcvNxt = pkt.Seq + 1
+				s.irs = pkt.Seq
+				s.peerWindow = int(pkt.Window) << WindowShift
+				s.sendControl(wire.FlagSYN|wire.FlagACK, s.iss)
+				s.sndNxt = s.iss + 1
+				s.armRTO()
+			}
+		}
+		return
+	}
+	s.input(pkt, flags)
+}
+
+const (
+	defaultSndBuf = 4 << 20
+	defaultRcvBuf = 2 << 20
+	initialRTO    = 200 * time.Millisecond
+	delackTimeout = 500 * time.Microsecond
+)
+
+type sockState int
+
+const (
+	stateSynSent sockState = iota
+	stateSynRcvd
+	stateEstablished
+	stateFinWait   // we sent FIN, waiting for its ACK
+	stateCloseWait // peer sent FIN; we may still send
+	stateLastAck   // peer FIN'd and we sent our FIN
+	stateClosed
+)
+
+func (s sockState) String() string {
+	switch s {
+	case stateSynSent:
+		return "syn-sent"
+	case stateSynRcvd:
+		return "syn-rcvd"
+	case stateEstablished:
+		return "established"
+	case stateFinWait:
+		return "fin-wait"
+	case stateCloseWait:
+		return "close-wait"
+	case stateLastAck:
+		return "last-ack"
+	case stateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Chunk is a contiguous run of received in-order bytes sharing one offload
+// verdict. The stack never merges chunks with different flags.
+type Chunk struct {
+	// Seq is the TCP sequence number of the first byte.
+	Seq uint32
+	// Data is the payload (post any NIC in-place transforms).
+	Data []byte
+	// Flags is the NIC's per-packet offload verdict.
+	Flags meta.RxFlags
+}
+
+type rxSeg struct {
+	seq   uint32
+	data  []byte
+	flags meta.RxFlags
+}
+
+// Socket is one TCP connection endpoint.
+type Socket struct {
+	stack *Stack
+	flow  wire.FlowID
+	state sockState
+
+	onAccept func(*Socket)
+
+	// OnEstablished fires once when the connection is established.
+	OnEstablished func(*Socket)
+	// OnReadable fires whenever new in-order data (or EOF) is available.
+	OnReadable func(*Socket)
+	// OnDrain fires when send-buffer space becomes available after Write
+	// returned a short count.
+	OnDrain func(*Socket)
+	// OnClose fires when the connection is fully closed.
+	OnClose func(*Socket)
+
+	// Send state.
+	iss        uint32
+	sndUna     uint32 // oldest unacknowledged sequence
+	sndNxt     uint32 // next sequence to send
+	sndBuf     []byte // bytes [sndUna+synAdj, ...) not yet acknowledged
+	sndBufCap  int
+	finQueued  bool
+	finSeq     uint32
+	peerWindow int
+	cwnd       int
+	ssthresh   int
+	dupAcks    int
+	inRecovery bool
+	recoverSeq uint32
+	rto        time.Duration
+	srtt       time.Duration
+	rttvar     time.Duration
+	rtoTimer   *netsim.Timer
+	rttSeq     uint32
+	rttAt      time.Duration
+	rttPending bool
+	drainNote  bool
+
+	// Delayed-ACK state (RFC 1122: ack at least every second segment or
+	// within the delayed-ACK timeout).
+	delackPending bool
+	delackTimer   *netsim.Timer
+
+	// rtoStreak counts consecutive RTOs without forward progress. The
+	// first may be spurious (queueing-delay spikes); only a streak enters
+	// full loss recovery.
+	rtoStreak int
+
+	// Receive state.
+	irs        uint32
+	rcvNxt     uint32
+	ooo        []rxSeg
+	rcvChunks  []Chunk
+	rcvBufUsed int
+	rcvBufCap  int
+	peerFin    bool
+	finRcvdSeq uint32
+	sawEOF     bool
+}
+
+// Flow returns the socket's flow (local→remote).
+func (s *Socket) Flow() wire.FlowID { return s.flow }
+
+// StackModel returns the owning stack's cost model (for L5P layers).
+func (s *Socket) StackModel() *cycles.Model { return s.stack.model }
+
+// StackLedger returns the owning stack's cycle ledger (for L5P layers).
+func (s *Socket) StackLedger() *cycles.Ledger { return s.stack.ledger }
+
+// State returns a printable connection state (for logs and tests).
+func (s *Socket) State() string { return s.state.String() }
+
+// Established reports whether the handshake has completed.
+func (s *Socket) Established() bool {
+	return s.state == stateEstablished || s.state == stateFinWait ||
+		s.state == stateCloseWait || s.state == stateLastAck
+}
+
+// WriteSeq returns the TCP sequence number the next written byte will
+// occupy. L5Ps use it to map messages to stream positions (§4.2).
+func (s *Socket) WriteSeq() uint32 {
+	return s.sndUna + uint32(len(s.sndBuf))
+}
+
+// ReadSeq returns the TCP sequence number of the next byte ReadChunk will
+// return. L5Ps use it to answer receive-resync requests (§4.3).
+func (s *Socket) ReadSeq() uint32 {
+	if len(s.rcvChunks) > 0 {
+		return s.rcvChunks[0].Seq
+	}
+	return s.rcvNxt
+}
+
+// StreamBytes returns the unacknowledged sent bytes in [from, to). It is
+// the host-memory region the NIC driver DMA-reads during transmit context
+// recovery (Fig. 6); callers must treat it as read-only.
+func (s *Socket) StreamBytes(from, to uint32) ([]byte, error) {
+	start := int32(from - s.sndUna)
+	end := int32(to - s.sndUna)
+	if start < 0 || end < start || int(end) > len(s.sndBuf) {
+		return nil, fmt.Errorf("tcpip: stream range [%d,%d) outside retained [%d,%d)",
+			from, to, s.sndUna, s.sndUna+uint32(len(s.sndBuf)))
+	}
+	return s.sndBuf[start:end], nil
+}
+
+// Write appends p to the send buffer, returning how many bytes were
+// accepted (bounded by buffer space). Data is transmitted as window and
+// congestion state allow. Write models sendmsg: the accepted bytes pay
+// the user-to-kernel copy. Data already in kernel buffers (page cache,
+// block layer, L5P record buffers) should use WriteZC instead.
+func (s *Socket) Write(p []byte) int {
+	n := s.WriteZC(p)
+	s.stack.ledger.Charge(cycles.HostTCP, cycles.Copy,
+		s.stack.model.CopyCycles(n, 0), n)
+	return n
+}
+
+// WriteZC is Write without the user-copy charge (the sendpage path).
+func (s *Socket) WriteZC(p []byte) int {
+	if s.state != stateEstablished && s.state != stateCloseWait {
+		return 0
+	}
+	space := s.sndBufCap - len(s.sndBuf)
+	n := len(p)
+	if n > space {
+		n = space
+	}
+	if n > 0 {
+		s.sndBuf = append(s.sndBuf, p[:n]...)
+		s.trySend()
+	}
+	// Arm the drain notification when the writer is likely waiting: either
+	// the write was truncated, or free space dropped below the low-water
+	// mark (so steady-state writers refill as acknowledgments drain).
+	if n < len(p) || s.sndBufCap-len(s.sndBuf) < s.drainLowWater() {
+		s.drainNote = true
+	}
+	return n
+}
+
+// WriteSpace returns how many bytes Write would currently accept.
+func (s *Socket) WriteSpace() int { return s.sndBufCap - len(s.sndBuf) }
+
+// AckedSeq returns the oldest unacknowledged sequence number (snd.una).
+// Bytes before it are no longer retained for StreamBytes.
+func (s *Socket) AckedSeq() uint32 { return s.sndUna }
+
+// Unsent returns bytes buffered but not yet transmitted.
+func (s *Socket) Unsent() int {
+	return len(s.sndBuf) - int(s.sndNxt-s.sndUna)
+}
+
+// Unacked returns bytes transmitted but not yet acknowledged.
+func (s *Socket) Unacked() int { return int(s.sndNxt - s.sndUna) }
+
+// BufferedOut returns all bytes held in the send buffer.
+func (s *Socket) BufferedOut() int { return len(s.sndBuf) }
+
+// Close queues a FIN after all buffered data. Further Writes are refused.
+func (s *Socket) Close() {
+	switch s.state {
+	case stateEstablished:
+		s.state = stateFinWait
+	case stateCloseWait:
+		s.state = stateLastAck
+	default:
+		return
+	}
+	s.finQueued = true
+	s.trySend()
+}
+
+// Readable returns the number of in-order bytes available to read.
+func (s *Socket) Readable() int { return s.rcvBufUsed }
+
+// EOF reports whether the peer's FIN has been delivered and all data read.
+func (s *Socket) EOF() bool { return s.peerFin && s.rcvBufUsed == 0 }
+
+// ReadChunk returns the next in-order chunk of received data with its
+// offload verdict flags, or ok=false when nothing is buffered. A chunk
+// never mixes bytes with different verdicts.
+func (s *Socket) ReadChunk() (c Chunk, ok bool) {
+	if len(s.rcvChunks) == 0 {
+		return Chunk{}, false
+	}
+	c = s.rcvChunks[0]
+	s.rcvChunks = s.rcvChunks[1:]
+	s.rcvBufUsed -= len(c.Data)
+	return c, true
+}
+
+// PeekChunks invokes fn over buffered chunks without consuming them,
+// stopping early if fn returns false.
+func (s *Socket) PeekChunks(fn func(Chunk) bool) {
+	for _, c := range s.rcvChunks {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+func (s *Socket) recvWindow() uint16 {
+	free := s.rcvBufCap - s.rcvBufUsed
+	if free < 0 {
+		free = 0
+	}
+	w := free >> WindowShift
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+func (s *Socket) sendControl(flags wire.TCPFlags, seq uint32) {
+	pkt := &wire.Packet{
+		Flow:   s.flow,
+		Seq:    seq,
+		Ack:    s.rcvNxt,
+		Flags:  flags,
+		Window: s.recvWindow(),
+	}
+	s.output(pkt)
+}
+
+func (s *Socket) output(pkt *wire.Packet) {
+	st := s.stack
+	st.Stats.PacketsOut++
+	cost := st.model.StackTxPerPacket / st.model.TxBatchFactor
+	st.ledger.Charge(cycles.HostTCP, cycles.StackTx, cost, len(pkt.Payload))
+	st.dev.Transmit(pkt)
+}
+
+func (s *Socket) sendAck() {
+	s.clearDelack()
+	s.sendControl(wire.FlagACK, s.sndNxt)
+}
+
+// scheduleAck implements delayed ACKs: every second in-order data segment
+// is acknowledged immediately; a lone segment is acknowledged after the
+// delayed-ACK timeout unless more data (or an outgoing segment that
+// piggybacks the ACK) arrives first.
+func (s *Socket) scheduleAck() {
+	if s.delackPending {
+		s.sendAck()
+		return
+	}
+	s.delackPending = true
+	s.delackTimer = s.stack.sim.After(delackTimeout, func() {
+		if s.delackPending && s.state != stateClosed {
+			s.sendAck()
+		}
+	})
+}
+
+func (s *Socket) clearDelack() {
+	s.delackPending = false
+	if s.delackTimer != nil {
+		s.delackTimer.Stop()
+	}
+}
+
+// trySend transmits as much buffered data as the windows allow.
+func (s *Socket) trySend() {
+	if !s.Established() && s.state != stateFinWait && s.state != stateLastAck {
+		return
+	}
+	mss := s.stack.model.MSS()
+	for {
+		inFlight := int(s.sndNxt - s.sndUna)
+		wnd := s.cwnd
+		if s.peerWindow < wnd {
+			wnd = s.peerWindow
+		}
+		avail := len(s.sndBuf) - inFlight
+		if avail <= 0 {
+			break
+		}
+		if inFlight >= wnd {
+			break
+		}
+		n := avail
+		if n > mss {
+			n = mss
+		}
+		if inFlight+n > wnd {
+			n = wnd - inFlight
+		}
+		if n <= 0 {
+			break
+		}
+		s.transmitRange(s.sndNxt, n, false)
+		s.sndNxt += uint32(n)
+	}
+	// FIN goes out once all data has been transmitted.
+	if s.finQueued && int(s.sndNxt-s.sndUna) == len(s.sndBuf) {
+		s.finSeq = s.sndNxt
+		s.sendControl(wire.FlagFIN|wire.FlagACK, s.sndNxt)
+		s.sndNxt++
+		s.finQueued = false
+		s.armRTO()
+	}
+	if s.Unacked() > 0 && (s.rtoTimer == nil || !s.rtoTimer.Pending()) {
+		s.armRTO()
+	}
+	if s.drainNote && s.sndBufCap-len(s.sndBuf) >= s.drainLowWater() && s.OnDrain != nil {
+		s.drainNote = false
+		s.OnDrain(s)
+	}
+}
+
+// transmitRange sends len bytes starting at seq out of the send buffer.
+// The payload is copied because the NIC transforms it in place.
+func (s *Socket) transmitRange(seq uint32, n int, isRetransmit bool) {
+	off := int(seq - s.sndUna)
+	payload := make([]byte, n)
+	copy(payload, s.sndBuf[off:off+n])
+	pkt := &wire.Packet{
+		Flow:    s.flow,
+		Seq:     seq,
+		Ack:     s.rcvNxt,
+		Flags:   wire.FlagACK | wire.FlagPSH,
+		Window:  s.recvWindow(),
+		Payload: payload,
+	}
+	if !isRetransmit && !s.rttPending {
+		s.rttPending = true
+		s.rttSeq = seq + uint32(n)
+		s.rttAt = s.stack.sim.Now()
+	}
+	s.clearDelack() // the segment carries the ACK
+	s.output(pkt)
+}
+
+func (s *Socket) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	s.rtoTimer = s.stack.sim.After(s.rto, s.onRTO)
+}
+
+func (s *Socket) onRTO() {
+	if s.state == stateClosed {
+		return
+	}
+	switch s.state {
+	case stateSynSent:
+		s.sendControl(wire.FlagSYN, s.iss)
+	case stateSynRcvd:
+		s.sendControl(wire.FlagSYN|wire.FlagACK, s.iss)
+	default:
+		if s.Unacked() == 0 {
+			return
+		}
+		s.stack.Stats.Timeouts++
+		s.stack.Stats.Retransmits++
+		// Collapse to one segment (RFC 5681). A repeated timeout without
+		// progress means a multi-loss window: enter loss recovery up to
+		// sndNxt so that each partial ACK retransmits the next hole
+		// immediately (healing at RTT pace instead of one RTO per hole).
+		// A single timeout may be spurious — a queueing-delay spike — and
+		// must not trigger a full-window retransmission.
+		flight := int(s.sndNxt - s.sndUna)
+		s.ssthresh = max(flight/2, 2*s.stack.model.MSS())
+		s.cwnd = s.stack.model.MSS()
+		s.rtoStreak++
+		if s.rtoStreak > 1 {
+			s.inRecovery = true
+			s.recoverSeq = s.sndNxt
+		} else {
+			s.inRecovery = false
+		}
+		s.dupAcks = 0
+		n := min(s.stack.model.MSS(), len(s.sndBuf))
+		if n > 0 {
+			s.transmitRange(s.sndUna, n, true)
+		} else if s.finSeq == s.sndUna && s.sndNxt == s.sndUna+1 {
+			s.sendControl(wire.FlagFIN|wire.FlagACK, s.finSeq)
+		}
+		s.rttPending = false // Karn's algorithm: no samples from rexmits
+	}
+	s.rto *= 2
+	if s.rto > s.stack.maxRTO() {
+		s.rto = s.stack.maxRTO()
+	}
+	s.armRTO()
+}
+
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// drainLowWater is the free-space threshold at which a waiting writer is
+// woken: enough for several MSS-sized segments or records.
+func (s *Socket) drainLowWater() int {
+	lw := s.sndBufCap / 4
+	if lw > 128<<10 {
+		lw = 128 << 10
+	}
+	return lw
+}
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+func (s *Socket) input(pkt *wire.Packet, flags meta.RxFlags) {
+	switch s.state {
+	case stateSynSent:
+		if pkt.Flags&(wire.FlagSYN|wire.FlagACK) == wire.FlagSYN|wire.FlagACK &&
+			pkt.Ack == s.iss+1 {
+			s.irs = pkt.Seq
+			s.rcvNxt = pkt.Seq + 1
+			s.sndUna = pkt.Ack
+			s.peerWindow = int(pkt.Window) << WindowShift
+			s.state = stateEstablished
+			s.stopRTO()
+			s.sendAck()
+			if s.OnEstablished != nil {
+				s.OnEstablished(s)
+			}
+		}
+		return
+	case stateSynRcvd:
+		if pkt.Flags&wire.FlagACK != 0 && pkt.Ack == s.iss+1 {
+			s.sndUna = pkt.Ack
+			s.peerWindow = int(pkt.Window) << WindowShift
+			s.state = stateEstablished
+			s.stopRTO()
+			if s.onAccept != nil {
+				s.onAccept(s)
+			}
+			// Fall through: the handshake ACK may carry data.
+		} else if pkt.Flags&wire.FlagSYN != 0 {
+			// Retransmitted SYN: re-send SYN-ACK.
+			s.sendControl(wire.FlagSYN|wire.FlagACK, s.iss)
+			return
+		} else {
+			return
+		}
+	case stateClosed:
+		return
+	}
+
+	if pkt.Flags&wire.FlagSYN != 0 {
+		// Retransmitted SYN-ACK: our handshake ACK was lost; re-ack.
+		s.sendAck()
+		return
+	}
+
+	if pkt.Flags&wire.FlagACK != 0 {
+		s.processAck(pkt)
+	}
+	if len(pkt.Payload) > 0 || pkt.Flags&wire.FlagFIN != 0 {
+		s.processData(pkt, flags)
+	}
+}
+
+func (s *Socket) stopRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+}
+
+func (s *Socket) processAck(pkt *wire.Packet) {
+	ack := pkt.Ack
+	s.peerWindow = int(pkt.Window) << WindowShift
+	mss := s.stack.model.MSS()
+
+	if seqLE(ack, s.sndUna) {
+		// Duplicate ACK (only counts if it doesn't carry new data ack).
+		if ack == s.sndUna && s.Unacked() > 0 && len(pkt.Payload) == 0 {
+			s.dupAcks++
+			if s.dupAcks == 3 && !s.inRecovery {
+				// Fast retransmit + NewReno fast recovery.
+				s.stack.Stats.FastRetransmits++
+				s.stack.Stats.Retransmits++
+				s.ssthresh = max(s.Unacked()/2, 2*mss)
+				s.cwnd = s.ssthresh + 3*mss
+				s.inRecovery = true
+				s.recoverSeq = s.sndNxt
+				n := min(mss, len(s.sndBuf))
+				if n > 0 {
+					s.transmitRange(s.sndUna, n, true)
+				}
+				s.rttPending = false
+			} else if s.dupAcks > 3 && s.inRecovery {
+				s.cwnd += mss // inflate during recovery
+				s.trySend()
+			}
+		}
+		return
+	}
+	if seqLT(s.sndNxt, ack) {
+		return // acks data we never sent; ignore
+	}
+
+	// New data acknowledged.
+	s.rtoStreak = 0
+	acked := ack - s.sndUna
+	finAcked := false
+	dataAcked := int(acked)
+	if s.finSeq != 0 && seqLT(s.finSeq, ack) {
+		finAcked = true
+		dataAcked--
+	}
+	if dataAcked > len(s.sndBuf) {
+		dataAcked = len(s.sndBuf)
+	}
+	s.sndBuf = s.sndBuf[dataAcked:]
+	s.sndUna = ack
+
+	// RTT sample (Karn's: only for untransmitted-once data).
+	if s.rttPending && seqLE(s.rttSeq, ack) {
+		s.rttPending = false
+		sample := s.stack.sim.Now() - s.rttAt
+		if s.srtt == 0 {
+			s.srtt = sample
+			s.rttvar = sample / 2
+		} else {
+			delta := s.srtt - sample
+			if delta < 0 {
+				delta = -delta
+			}
+			s.rttvar = (3*s.rttvar + delta) / 4
+			s.srtt = (7*s.srtt + sample) / 8
+		}
+		s.rto = s.srtt + 4*s.rttvar
+		if s.rto < s.stack.minRTO() {
+			s.rto = s.stack.minRTO()
+		}
+		if s.rto > s.stack.maxRTO() {
+			s.rto = s.stack.maxRTO()
+		}
+	} else if s.srtt > 0 {
+		// New data was acknowledged: the connection is alive, so shed any
+		// exponential backoff (Linux behaviour; pure RFC 6298 retention
+		// deadlocks multi-loss windows behind 4-second timers).
+		s.rto = maxDur(s.srtt+4*s.rttvar, s.stack.minRTO())
+	}
+
+	if s.inRecovery {
+		if seqLT(ack, s.recoverSeq) {
+			// Partial ACK: retransmit the next hole, deflate.
+			n := min(mss, len(s.sndBuf))
+			if n > 0 {
+				s.stack.Stats.Retransmits++
+				s.transmitRange(s.sndUna, n, true)
+			}
+			s.cwnd = max(s.cwnd-int(acked)+mss, mss)
+		} else {
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupAcks = 0
+		}
+	} else {
+		s.dupAcks = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += int(acked) // slow start
+		} else {
+			s.cwnd += max(mss*mss/s.cwnd, 1) // congestion avoidance
+		}
+	}
+
+	if s.Unacked() > 0 {
+		s.armRTO()
+	} else {
+		s.stopRTO()
+		s.rto = maxDur(s.srtt+4*s.rttvar, s.stack.minRTO())
+	}
+
+	if finAcked {
+		switch s.state {
+		case stateFinWait:
+			// Wait for peer's FIN (handled in processData).
+		case stateLastAck:
+			s.teardown()
+		}
+	}
+	s.trySend()
+	if s.drainNote && s.sndBufCap-len(s.sndBuf) >= s.drainLowWater() && s.OnDrain != nil {
+		s.drainNote = false
+		s.OnDrain(s)
+	}
+}
+
+func (s *Socket) processData(pkt *wire.Packet, flags meta.RxFlags) {
+	seq := pkt.Seq
+	data := pkt.Payload
+	fin := pkt.Flags&wire.FlagFIN != 0
+
+	// Trim data already received.
+	if seqLT(seq, s.rcvNxt) {
+		skip := s.rcvNxt - seq
+		if int(skip) >= len(data) {
+			if fin && seqLE(pkt.EndSeq()-1, s.rcvNxt) {
+				s.handleFin(pkt.EndSeq() - 1)
+			}
+			s.sendAck() // pure duplicate: re-ack
+			return
+		}
+		data = data[skip:]
+		seq = s.rcvNxt
+	}
+
+	if seq == s.rcvNxt {
+		s.deliver(seq, data, flags)
+		if fin {
+			s.handleFin(pkt.EndSeq() - 1)
+		}
+		s.drainOOO()
+		if fin || len(s.ooo) > 0 {
+			s.sendAck() // ack immediately when filling holes or closing
+		} else {
+			s.scheduleAck()
+		}
+		if s.OnReadable != nil && (s.rcvBufUsed > 0 || s.EOF()) {
+			s.OnReadable(s)
+		}
+		return
+	}
+
+	// Out of order: buffer and send a duplicate ACK.
+	s.stack.Stats.OutOfOrderIn++
+	if len(data) > 0 {
+		s.insertOOO(rxSeg{seq: seq, data: append([]byte(nil), data...), flags: flags})
+	}
+	if fin {
+		s.peerFinPending(pkt.EndSeq() - 1)
+	}
+	s.sendAck()
+}
+
+func (s *Socket) peerFinPending(seq uint32) {
+	// Remember an out-of-order FIN; applied when the stream catches up.
+	s.finRcvdSeq = seq
+}
+
+func (s *Socket) handleFin(seq uint32) {
+	if s.peerFin {
+		return
+	}
+	s.peerFin = true
+	s.rcvNxt = seq + 1
+	switch s.state {
+	case stateEstablished:
+		s.state = stateCloseWait
+	case stateFinWait:
+		s.teardown()
+	}
+}
+
+func (s *Socket) teardown() {
+	if s.state == stateClosed {
+		return
+	}
+	s.state = stateClosed
+	s.stopRTO()
+	s.clearDelack()
+	delete(s.stack.socks, s.flow)
+	if s.OnClose != nil {
+		s.OnClose(s)
+	}
+}
+
+func (s *Socket) deliver(seq uint32, data []byte, flags meta.RxFlags) {
+	if len(data) == 0 {
+		return
+	}
+	// Do not coalesce chunks with different offload verdicts (§4.3).
+	s.rcvChunks = append(s.rcvChunks, Chunk{Seq: seq, Data: data, Flags: flags})
+	s.rcvBufUsed += len(data)
+	s.rcvNxt = seq + uint32(len(data))
+}
+
+func (s *Socket) insertOOO(seg rxSeg) {
+	// Keep segments sorted by seq; drop exact duplicates; allow overlap
+	// (trimmed at drain time).
+	pos := len(s.ooo)
+	for i, o := range s.ooo {
+		if seg.seq == o.seq && len(seg.data) <= len(o.data) {
+			return
+		}
+		if seqLT(seg.seq, o.seq) {
+			pos = i
+			break
+		}
+	}
+	s.ooo = append(s.ooo, rxSeg{})
+	copy(s.ooo[pos+1:], s.ooo[pos:])
+	s.ooo[pos] = seg
+}
+
+func (s *Socket) drainOOO() {
+	for len(s.ooo) > 0 {
+		seg := s.ooo[0]
+		if seqLT(s.rcvNxt, seg.seq) {
+			break
+		}
+		s.ooo = s.ooo[1:]
+		skip := s.rcvNxt - seg.seq
+		if int(skip) >= len(seg.data) {
+			continue
+		}
+		s.deliver(s.rcvNxt, seg.data[skip:], seg.flags)
+	}
+	if s.finRcvdSeq != 0 && s.rcvNxt == s.finRcvdSeq {
+		s.handleFin(s.finRcvdSeq)
+		s.finRcvdSeq = 0
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DebugString renders the socket's transmission state for diagnostics.
+func (s *Socket) DebugString() string {
+	return fmt.Sprintf("state=%s sndUna=%d sndNxt=%d buf=%d cwnd=%d ssthresh=%d peerWnd=%d rto=%v rtoArmed=%v inRec=%v dupAcks=%d rcvNxt=%d ooo=%d rcvUsed=%d",
+		s.state, s.sndUna, s.sndNxt, len(s.sndBuf), s.cwnd, s.ssthresh,
+		s.peerWindow, s.rto, s.rtoTimer.Pending(), s.inRecovery, s.dupAcks,
+		s.rcvNxt, len(s.ooo), s.rcvBufUsed)
+}

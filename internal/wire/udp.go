@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// UDPHeaderLen is the UDP header size.
+const UDPHeaderLen = 8
+
+// UDPFrameOverhead is the total header bytes of a UDP frame.
+const UDPFrameOverhead = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen
+
+// Datagram is a parsed UDP/IPv4 frame.
+type Datagram struct {
+	Flow    FlowID
+	Payload []byte
+}
+
+// Marshal serializes the datagram into an Ethernet/IPv4/UDP frame with
+// valid checksums.
+func (d *Datagram) Marshal() []byte {
+	buf := make([]byte, UDPFrameOverhead+len(d.Payload))
+	eth := buf[:EthernetHeaderLen]
+	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	udp := buf[EthernetHeaderLen+IPv4HeaderLen : UDPFrameOverhead]
+	copy(buf[UDPFrameOverhead:], d.Payload)
+
+	copy(eth[0:6], macFor(d.Flow.Dst.IP))
+	copy(eth[6:12], macFor(d.Flow.Src.IP))
+	binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv4)
+
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+UDPHeaderLen+len(d.Payload)))
+	ip[8] = 64
+	ip[9] = ProtoUDP
+	copy(ip[12:16], d.Flow.Src.IP[:])
+	copy(ip[16:20], d.Flow.Dst.IP[:])
+	binary.BigEndian.PutUint16(ip[10:12], internetChecksum(ip, 0))
+
+	binary.BigEndian.PutUint16(udp[0:2], d.Flow.Src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], d.Flow.Dst.Port)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+len(d.Payload)))
+	sum := udpChecksum(d.Flow, udp, buf[UDPFrameOverhead:])
+	if sum == 0 {
+		sum = 0xFFFF // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(udp[6:8], sum)
+	return buf
+}
+
+// ParseUDP decodes and validates a frame produced by (*Datagram).Marshal.
+func ParseUDP(buf []byte) (*Datagram, error) {
+	if len(buf) < UDPFrameOverhead {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+	ip := buf[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if internetChecksum(ip[:ihl], 0) != 0 {
+		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+	if ip[9] != ProtoUDP {
+		return nil, fmt.Errorf("wire: not UDP")
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen > len(ip) || totalLen < ihl+UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	var flow FlowID
+	copy(flow.Src.IP[:], ip[12:16])
+	copy(flow.Dst.IP[:], ip[16:20])
+	udp := ip[ihl:totalLen]
+	flow.Src.Port = binary.BigEndian.Uint16(udp[0:2])
+	flow.Dst.Port = binary.BigEndian.Uint16(udp[2:4])
+	if udpChecksum(flow, udp, nil) != 0 {
+		return nil, fmt.Errorf("%w: UDP datagram", ErrBadChecksum)
+	}
+	return &Datagram{Flow: flow, Payload: udp[UDPHeaderLen:]}, nil
+}
+
+// udpChecksum computes the UDP checksum over the pseudo-header, header,
+// and payload (checksum field zero when generating). A valid datagram sums
+// to zero when verifying (0xFFFF-transmitted values included).
+func udpChecksum(flow FlowID, seg, extra []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], flow.Src.IP[:])
+	copy(pseudo[4:8], flow.Dst.IP[:])
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)+len(extra)))
+	var sum uint32
+	add := func(data []byte) {
+		for len(data) >= 2 {
+			sum += uint32(data[0])<<8 | uint32(data[1])
+			data = data[2:]
+		}
+		if len(data) == 1 {
+			sum += uint32(data[0]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(seg)
+	add(extra)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	d := &Datagram{
+		Flow:    FlowID{Src: IPv4(10, 0, 0, 1, 5000), Dst: IPv4(10, 0, 0, 2, 53)},
+		Payload: []byte("datagram payload"),
+	}
+	got, err := ParseUDP(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow != d.Flow || !bytes.Equal(got.Payload, d.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, sp, dp uint16) bool {
+		d := &Datagram{
+			Flow:    FlowID{Src: IPv4(10, 0, 0, 1, sp), Dst: IPv4(10, 0, 0, 2, dp)},
+			Payload: payload,
+		}
+		got, err := ParseUDP(d.Marshal())
+		return err == nil && got.Flow == d.Flow && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUDPDetectsCorruption(t *testing.T) {
+	d := &Datagram{
+		Flow:    FlowID{Src: IPv4(10, 0, 0, 1, 1), Dst: IPv4(10, 0, 0, 2, 2)},
+		Payload: bytes.Repeat([]byte{0x5A}, 64),
+	}
+	frame := d.Marshal()
+	for i := EthernetHeaderLen; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x42
+		if _, err := ParseUDP(mut); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestUDPRejectsTCPFrames(t *testing.T) {
+	p := &Packet{Flow: testFlow(), Seq: 1, Payload: []byte("tcp")}
+	if _, err := ParseUDP(p.Marshal()); err == nil {
+		t.Error("ParseUDP accepted a TCP frame")
+	}
+	d := &Datagram{Flow: testFlow(), Payload: []byte("udp")}
+	if _, err := Parse(d.Marshal()); err == nil {
+		t.Error("Parse accepted a UDP frame")
+	}
+}
+
+func TestUDPTruncation(t *testing.T) {
+	d := &Datagram{Flow: testFlow(), Payload: []byte("xyz")}
+	frame := d.Marshal()
+	for i := 0; i < UDPFrameOverhead; i++ {
+		if _, err := ParseUDP(frame[:i]); err == nil {
+			t.Errorf("truncation to %d not detected", i)
+		}
+	}
+}
+
+func TestUDPZeroChecksumAvoidance(t *testing.T) {
+	// RFC 768: a computed checksum of zero is sent as 0xFFFF; the frame
+	// must still verify. Search for a payload that sums to zero is
+	// unnecessary — just assert any single-byte payloads round trip.
+	for b := 0; b < 256; b++ {
+		d := &Datagram{Flow: testFlow(), Payload: []byte{byte(b)}}
+		if _, err := ParseUDP(d.Marshal()); err != nil {
+			t.Fatalf("payload %#x failed: %v", b, err)
+		}
+	}
+}
