@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check fmt experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The simulator is single-threaded by design (one virtual clock, one event
+# heap), but the race detector still guards the few places where goroutines
+# could creep in — and keeps the whole suite honest about shared state.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+check: vet race
+
+fmt:
+	gofmt -l internal cmd
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -1,0 +1,471 @@
+package experiments
+
+// Chaos soak: the paper's central robustness claim (§4, §6.4) is that an
+// autonomous offload never has to be correct about the future — worst case
+// it stops accelerating, and the flow keeps working through software. The
+// fault sweeps of Figs. 16–18 probe loss and reordering; this harness
+// probes the harsher end of the space: payload corruption (both the kind
+// L4 checksums catch and the kind only L5 integrity checks catch), bursty
+// Gilbert–Elliott loss, timed link blackouts, and NIC-internal faults
+// (receive-ring stalls, context-cache wipes, lost or mangled resync
+// traffic). Two invariants are asserted across every mode:
+//
+//  1. Byte exactness: the delivered plaintext is exactly a prefix of the
+//     sent plaintext — corruption may cost throughput or kill a
+//     connection, but never delivers a wrong byte.
+//  2. No offload penalty: the offloaded variant's single-core throughput
+//     never falls materially below its software baseline under the same
+//     fault schedule.
+//
+// Every run is named by a seed: the link fault generators, the NIC chaos
+// generator, and the workload's own randomness all derive from it, so a
+// chaos run is exactly reproducible.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cycles"
+	"repro/internal/ktls"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/offload"
+	"repro/internal/tcpip"
+	"repro/internal/wire"
+)
+
+// patPeriod is a prime so the pattern never aligns with record or block
+// sizes: a byte delivered at the wrong stream offset mismatches.
+const patPeriod = 8191
+
+var patTable = func() []byte {
+	b := make([]byte, patPeriod)
+	rand.New(rand.NewSource(0x5eed)).Read(b)
+	return b
+}()
+
+// chaosByte is the expected plaintext byte at absolute stream offset off.
+func chaosByte(off uint64) byte { return patTable[off%patPeriod] }
+
+func fillPattern(dst []byte, off uint64) {
+	for i := range dst {
+		dst[i] = chaosByte(off + uint64(i))
+	}
+}
+
+// ChaosFaults is one seeded fault schedule: everything a chaos run injects,
+// on the wire and inside the NIC. Blackout windows are relative to the
+// moment the schedule is armed (after establishment).
+type ChaosFaults struct {
+	Seed        int64
+	CorruptProb float64
+	// Evading selects checksum-repairing payload corruption (only an L5
+	// integrity check can catch it) instead of the default raw bit flip
+	// (which L3/L4 checksums catch and TCP repairs by retransmission).
+	Evading   bool
+	Burst     *netsim.GilbertElliott
+	Blackouts []netsim.Blackout
+	NIC       *nic.ChaosConfig
+	// RxPolicy overrides the receive engines' degradation policy.
+	RxPolicy *offload.FallbackPolicy
+}
+
+// linkFaults builds the netsim config with blackouts shifted to absolute
+// virtual time base.
+func (f ChaosFaults) linkFaults(base time.Duration) netsim.FaultConfig {
+	fc := netsim.FaultConfig{
+		Seed:        f.Seed,
+		CorruptProb: f.CorruptProb,
+		Burst:       f.Burst,
+	}
+	if f.Evading {
+		fc.Corrupter = wire.CorruptPayload
+	}
+	for _, b := range f.Blackouts {
+		fc.Blackouts = append(fc.Blackouts, netsim.Blackout{Start: base + b.Start, End: base + b.End})
+	}
+	return fc
+}
+
+// ChaosSchedule derives a full randomized fault schedule from one seed.
+func ChaosSchedule(seed int64, evading bool) ChaosFaults {
+	rng := rand.New(rand.NewSource(seed*7919 + 3))
+	f := ChaosFaults{
+		Seed:        seed,
+		CorruptProb: 0.001 + 0.004*rng.Float64(),
+		Evading:     evading,
+		Burst: &netsim.GilbertElliott{
+			PGoodBad: 0.0005 + 0.001*rng.Float64(),
+			PBadGood: 0.05 + 0.1*rng.Float64(),
+			LossBad:  0.3 + 0.4*rng.Float64(),
+		},
+		NIC: &nic.ChaosConfig{
+			Seed:              seed,
+			CtxInvalidateProb: 0.0005,
+			RxStallProb:       0.0002 + 0.0005*rng.Float64(),
+			ResyncDropProb:    0.1 + 0.2*rng.Float64(),
+			ResyncRejectProb:  0.1 + 0.2*rng.Float64(),
+		},
+		RxPolicy: &offload.FallbackPolicy{
+			MaxRecoveryFailures:   8,
+			FallbackOnAuthFailure: true,
+		},
+	}
+	// One or two outages inside the measurement window.
+	at := time.Duration(0)
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		at += time.Duration(200+rng.Intn(1500)) * time.Microsecond
+		d := time.Duration(50+rng.Intn(150)) * time.Microsecond
+		f.Blackouts = append(f.Blackouts, netsim.Blackout{Start: at, End: at + d})
+		at += d
+	}
+	return f
+}
+
+// ChaosResult is the outcome of one chaos run.
+type ChaosResult struct {
+	Mode        string
+	Bytes       uint64 // pattern-verified payload delivered over the whole run
+	SentBytes   uint64 // payload accepted from the sending application
+	WindowBytes uint64 // delivered inside the measured window
+	Elapsed     time.Duration
+	Gbps        float64 // receiver single-core throughput over the window
+
+	// Violations lists broken invariants (wrong bytes delivered, receiver
+	// ahead of sender). Empty on a correct run, whatever the faults did.
+	Violations []string
+
+	ConnsFailed  int    // TLS connections killed by an auth failure
+	AuthFailures uint64 // records the software tag check rejected
+
+	// Engine-level degradation counters, summed across receive engines.
+	EngFallbacks       uint64
+	EngCorruptionDrops uint64
+	ResyncDropped      uint64
+	ForcedRejects      uint64
+
+	// NIC is the receiving device's counter block (nic.Stats export).
+	NIC nic.Stats
+
+	// NVMe-only outcomes.
+	ReadsOK       uint64
+	ReadsFailed   uint64
+	DigestErrors  uint64
+	FramingErrors uint64
+}
+
+// chaosRecv tracks one receiving connection's position in the pattern.
+type chaosRecv struct {
+	off uint64
+	bad bool
+}
+
+func (r *ChaosResult) verify(st *chaosRecv, id int, data []byte) {
+	for i, b := range data {
+		if b != chaosByte(st.off+uint64(i)) && !st.bad {
+			st.bad = true
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("conn %d: wrong byte delivered at stream offset %d", id, st.off+uint64(i)))
+		}
+	}
+	st.off += uint64(len(data))
+	r.Bytes += uint64(len(data))
+}
+
+// RunChaosIperf drives the iperf workload with a fault schedule armed after
+// establishment, verifying every delivered byte against the send pattern.
+func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize int, dur time.Duration) *ChaosResult {
+	w := NewPairWorld(netsim.LinkConfig{
+		Gbps:    100,
+		Latency: 2 * time.Microsecond,
+	}, nic.Config{Chaos: f.NIC, CtxCacheFlows: 64})
+	w.Model.MinRTOMicros = 2000
+	w.Model.MaxRTOMicros = 500000
+
+	res := &ChaosResult{Mode: mode.String()}
+	cliTLS, srvTLS := TLSKeys(recordSize)
+	if f.RxPolicy != nil {
+		srvTLS.RxFallback = f.RxPolicy
+	}
+	var rcvConns []*ktls.Conn
+	var sent []*uint64
+
+	connID := 0
+	w.Srv.Stack.Listen(5001, func(s *tcpip.Socket) {
+		id := connID
+		connID++
+		st := &chaosRecv{}
+		if mode == IperfTCP {
+			s.OnReadable = func(s *tcpip.Socket) {
+				w.Srv.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+				for {
+					ch, ok := s.ReadChunk()
+					if !ok {
+						break
+					}
+					res.verify(st, id, ch.Data)
+				}
+			}
+			return
+		}
+		conn, err := ktls.NewConn(s, srvTLS)
+		if err != nil {
+			panic(err)
+		}
+		if mode == IperfTLSOffload {
+			if err := conn.EnableRxOffload(w.Srv.NIC); err != nil {
+				panic(err)
+			}
+		}
+		conn.OnPlain = func(pc ktls.PlainChunk) { res.verify(st, id, pc.Data) }
+		conn.OnError = func(error) { res.ConnsFailed++ }
+		rcvConns = append(rcvConns, conn)
+	})
+
+	for i := 0; i < streams; i++ {
+		w.Gen.Stack.Connect(wire.Addr{IP: w.Srv.Stack.IP(), Port: 5001}, func(s *tcpip.Socket) {
+			off := new(uint64)
+			sent = append(sent, off)
+			scratch := make([]byte, msgSize)
+			if mode == IperfTCP {
+				pump := func(s *tcpip.Socket) {
+					w.Gen.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+					for {
+						fillPattern(scratch, *off)
+						n := s.Write(scratch)
+						if n <= 0 {
+							break
+						}
+						*off += uint64(n)
+					}
+				}
+				s.OnDrain = pump
+				pump(s)
+				return
+			}
+			conn, err := ktls.NewConn(s, cliTLS)
+			if err != nil {
+				panic(err)
+			}
+			if mode == IperfTLSOffload {
+				if err := conn.EnableTxOffload(w.Gen.NIC, false); err != nil {
+					panic(err)
+				}
+			}
+			conn.OnError = func(error) {}
+			pump := func(c *ktls.Conn) {
+				for {
+					fillPattern(scratch, *off)
+					n := c.Write(scratch)
+					if n <= 0 {
+						break
+					}
+					*off += uint64(n)
+				}
+			}
+			conn.OnDrain = pump
+			pump(conn)
+		})
+	}
+
+	// Clean establishment, then arm the schedule on the data direction.
+	w.Sim.RunFor(3 * time.Millisecond)
+	w.Link.SetFaultsAtoB(f.linkFaults(w.Sim.Now()))
+	warm := res.Bytes
+	rcvBefore := w.Srv.Ledger.Clone()
+	start := w.Sim.Now()
+	w.Sim.RunFor(dur)
+	res.Elapsed = w.Sim.Now() - start
+	res.WindowBytes = res.Bytes - warm
+	res.Gbps = oneCoreGbps(&w.Model, cycles.Diff(w.Srv.Ledger, rcvBefore), res.WindowBytes, res.Elapsed)
+
+	for _, off := range sent {
+		res.SentBytes += *off
+	}
+	if res.Bytes > res.SentBytes {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("receiver delivered %d bytes but sender only produced %d", res.Bytes, res.SentBytes))
+	}
+	for _, c := range rcvConns {
+		res.AuthFailures += c.Stats.AuthFailures
+		if e := c.RxEngine(); e != nil {
+			res.EngFallbacks += e.Stats.Fallbacks
+			res.EngCorruptionDrops += e.Stats.CorruptionDrops
+			res.ResyncDropped += e.Stats.ResyncDropped
+			res.ForcedRejects += e.Stats.ForcedRejects
+		}
+	}
+	res.NIC = w.Srv.NIC.Stats
+	return res
+}
+
+// RunChaosNVMe drives random reads over NVMe-TCP with the fault schedule on
+// the target→server direction, verifying every successfully completed read
+// against the device's deterministic content. Digest failures complete the
+// read with an error; framing corruption kills the association — either
+// way no wrong byte reaches the caller.
+func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Duration) *ChaosResult {
+	w := NewStorageWorld(StorageOpts{
+		NICCfg:    nic.Config{Chaos: f.NIC, CtxCacheFlows: 64},
+		NVMePlace: offloaded,
+		NVMeCRC:   offloaded,
+	})
+	w.Model.MinRTOMicros = 2000
+	w.Model.MaxRTOMicros = 500000
+
+	mode := "nvme"
+	if offloaded {
+		mode = "nvme-offload"
+	}
+	res := &ChaosResult{Mode: mode}
+	if f.RxPolicy != nil && w.Host.RxEngine() != nil {
+		w.Host.RxEngine().SetFallbackPolicy(*f.RxPolicy)
+	}
+	dead := false
+	w.Host.OnError = func(error) { dead = true }
+
+	rng := rand.New(rand.NewSource(f.Seed + 77))
+	const region = 1 << 16
+	want := make([]byte, blockdev.BlockSize)
+	var issue func()
+	issue = func() {
+		if dead {
+			return
+		}
+		lba := uint64(rng.Intn(region)) * uint64(blocks)
+		buf := make([]byte, blocks*blockdev.BlockSize)
+		w.Srv.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+		w.Host.ReadBlocks(lba, blocks, buf, func(err error) {
+			if err != nil {
+				res.ReadsFailed++
+			} else {
+				res.ReadsOK++
+				for i := 0; i < blocks; i++ {
+					blockdev.Pattern(lba+uint64(i), 0, want)
+					if !bytes.Equal(buf[i*blockdev.BlockSize:(i+1)*blockdev.BlockSize], want) {
+						res.Violations = append(res.Violations,
+							fmt.Sprintf("read at lba %d delivered wrong block %d", lba, i))
+						break
+					}
+				}
+				res.Bytes += uint64(len(buf))
+			}
+			issue()
+		})
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+
+	// Warm the pipeline clean, then arm the schedule on the response path.
+	w.Sim.RunFor(2 * time.Millisecond)
+	w.Back.SetFaultsBtoA(f.linkFaults(w.Sim.Now()))
+	warm := res.Bytes
+	srvBefore := w.Srv.Ledger.Clone()
+	start := w.Sim.Now()
+	w.Sim.RunFor(dur)
+	res.Elapsed = w.Sim.Now() - start
+	res.WindowBytes = res.Bytes - warm
+	res.Gbps = oneCoreGbps(&w.Model, cycles.Diff(w.Srv.Ledger, srvBefore), res.WindowBytes, res.Elapsed)
+
+	if e := w.Host.RxEngine(); e != nil {
+		res.EngFallbacks = e.Stats.Fallbacks
+		res.EngCorruptionDrops = e.Stats.CorruptionDrops
+		res.ResyncDropped = e.Stats.ResyncDropped
+		res.ForcedRejects = e.Stats.ForcedRejects
+	}
+	res.DigestErrors = w.Host.Stats.DigestErrors
+	res.FramingErrors = w.Host.Stats.FramingErrors + w.Ctrl.Stats.FramingErrors
+	res.NIC = w.Srv.NIC.Stats
+	return res
+}
+
+// chaosCorruptRates sweeps per-frame corruption probabilities.
+var chaosCorruptRates = []float64{0, 0.002, 0.01, 0.05}
+
+const (
+	chaosStreams = 16
+	chaosWindow  = 3 * time.Millisecond
+)
+
+// ChaosCorruption reproduces the corruption sweep: sender and receiver
+// under payload corruption, TCP seeing the detectable kind and the TLS
+// variants the checksum-evading kind.
+func ChaosCorruption() *Table {
+	t := &Table{
+		ID:    "chaos-corrupt",
+		Title: "Sender/receiver under corruption: single-core Gbps and degradation",
+		Columns: []string{"corrupt", "tcp", "offload", "tls", "falls", "drops",
+			"auth", "lost conns", "viol"},
+	}
+	for _, p := range chaosCorruptRates {
+		var gbps [3]float64
+		var off *ChaosResult
+		viol := 0
+		for i, mode := range []IperfMode{IperfTCP, IperfTLSOffload, IperfTLS} {
+			f := ChaosFaults{Seed: int64(4000 + i), CorruptProb: p, Evading: mode != IperfTCP}
+			r := RunChaosIperf(f, mode, chaosStreams, 256<<10, 16<<10, chaosWindow)
+			gbps[i] = r.Gbps
+			viol += len(r.Violations)
+			if mode == IperfTLSOffload {
+				off = r
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f%%", p*100), f1(gbps[0]), f1(gbps[1]), f1(gbps[2]),
+			fmt.Sprint(off.NIC.RxFallbacks), fmt.Sprint(off.NIC.RxCorruptionDrops),
+			fmt.Sprint(off.AuthFailures), fmt.Sprint(off.ConnsFailed), fmt.Sprint(viol),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"tcp sees detectable corruption (L4 checksums catch it: acts as loss); tls/offload see checksum-evading corruption (only the ICV catches it: the record is rejected, the engine falls back, the connection dies)",
+		"viol counts delivered-bytes invariant violations — always 0: corruption costs throughput or connections, never correctness")
+	return t
+}
+
+// ChaosSoak runs the full randomized schedules across all transports.
+func ChaosSoak() *Table {
+	t := &Table{
+		ID:    "chaos-soak",
+		Title: "Chaos soak: randomized corruption x burst loss x blackout x NIC faults",
+		Columns: []string{"seed", "mode", "Gbps", "MB", "falls", "drops", "stalls",
+			"inval", "rsdrop", "rsrej", "viol"},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, r := range chaosSoakRuns(seed) {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(seed), r.Mode, f1(r.Gbps),
+				f1(float64(r.Bytes) / (1 << 20)),
+				fmt.Sprint(r.EngFallbacks), fmt.Sprint(r.EngCorruptionDrops),
+				fmt.Sprint(r.NIC.RxRingStalls), fmt.Sprint(r.NIC.CtxInvalidations),
+				fmt.Sprint(r.ResyncDropped), fmt.Sprint(r.ForcedRejects),
+				fmt.Sprint(len(r.Violations)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each seed names one fault schedule (link corruption, Gilbert-Elliott bursts, blackouts, ring stalls, cache wipes, resync loss) applied identically to every mode",
+		"nvme digest failures fail the read, framing corruption kills the association; in no mode does a wrong byte reach the application")
+	return t
+}
+
+// chaosSoakRuns executes one seed's schedule across the four transports.
+func chaosSoakRuns(seed int64) []*ChaosResult {
+	sched := func(evading bool) ChaosFaults { return ChaosSchedule(seed, evading) }
+	out := []*ChaosResult{
+		RunChaosIperf(sched(false), IperfTCP, chaosStreams, 256<<10, 16<<10, chaosWindow),
+		RunChaosIperf(sched(true), IperfTLS, chaosStreams, 256<<10, 16<<10, chaosWindow),
+		RunChaosIperf(sched(true), IperfTLSOffload, chaosStreams, 256<<10, 16<<10, chaosWindow),
+		RunChaosNVMe(sched(true), false, 8, 8, chaosWindow),
+		RunChaosNVMe(sched(true), true, 8, 8, chaosWindow),
+	}
+	return out
+}
+
+// Chaos is the registered experiment: the corruption sweep plus the soak.
+func Chaos() []*Table {
+	return []*Table{ChaosCorruption(), ChaosSoak()}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/offload"
+)
+
+// TestChaosDeterminism checks that a chaos run is named by its seed: the
+// same schedule twice produces byte-identical results, counters included.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *ChaosResult {
+		return RunChaosIperf(ChaosSchedule(5, true), IperfTLSOffload,
+			8, 256<<10, 16<<10, 2*time.Millisecond)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("iperf chaos run not deterministic:\na=%+v\nb=%+v", a, b)
+	}
+	runNVMe := func() *ChaosResult {
+		return RunChaosNVMe(ChaosSchedule(5, true), true, 8, 8, 2*time.Millisecond)
+	}
+	c, d := runNVMe(), runNVMe()
+	if !reflect.DeepEqual(c, d) {
+		t.Errorf("nvme chaos run not deterministic:\na=%+v\nb=%+v", c, d)
+	}
+}
+
+// TestChaosSoakInvariants runs the full randomized schedules across every
+// transport and asserts the soak's two guarantees: traffic still flows, and
+// not one delivered byte is wrong — whatever the fault schedule did.
+func TestChaosSoakInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, r := range chaosSoakRuns(seed) {
+			if len(r.Violations) != 0 {
+				t.Errorf("seed %d %s: invariant violations: %v", seed, r.Mode, r.Violations)
+			}
+			if r.Bytes == 0 {
+				t.Errorf("seed %d %s: no verified bytes delivered", seed, r.Mode)
+			}
+			if r.SentBytes > 0 && r.Bytes > r.SentBytes {
+				t.Errorf("seed %d %s: delivered %d > sent %d", seed, r.Mode, r.Bytes, r.SentBytes)
+			}
+		}
+	}
+}
+
+// TestChaosCorruptionDegradesGracefully checks the degradation chain under
+// checksum-evading corruption: the engine positively detects the corrupt
+// record, drops it, falls back to software, and the failure is visible in
+// the NIC's exported counters — while the delivered bytes stay correct.
+func TestChaosCorruptionDegradesGracefully(t *testing.T) {
+	f := ChaosFaults{Seed: 42, CorruptProb: 0.02, Evading: true}
+	r := RunChaosIperf(f, IperfTLSOffload, chaosStreams, 256<<10, 16<<10, chaosWindow)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations under corruption: %v", r.Violations)
+	}
+	if r.EngCorruptionDrops == 0 {
+		t.Error("no engine corruption drops despite evading corruption")
+	}
+	if r.EngFallbacks == 0 {
+		t.Error("no engine fell back despite auth failures")
+	}
+	if r.AuthFailures == 0 {
+		t.Error("software tag check never fired")
+	}
+	if r.NIC.RxCorruptionDrops == 0 || r.NIC.RxFallbacks == 0 {
+		t.Errorf("degradation not exported through nic.Stats: %+v", r.NIC)
+	}
+	// The corrupt records killed their connections (TLS semantics), but
+	// never silently: every death is accounted.
+	if r.ConnsFailed == 0 {
+		t.Error("corrupt records should kill TLS connections")
+	}
+}
+
+// TestChaosRecoveryFailureThreshold checks MaxRecoveryFailures: when the
+// (faulty) NIC turns every resync confirmation into a rejection, engines
+// give up after the configured number of attempts and fall back for good.
+func TestChaosRecoveryFailureThreshold(t *testing.T) {
+	f := ChaosFaults{
+		Seed: 9,
+		// Constant 3% loss through the burst channel to force resyncs.
+		Burst:    &netsim.GilbertElliott{PGoodBad: 1, LossBad: 0.03},
+		NIC:      &nic.ChaosConfig{Seed: 9, ResyncRejectProb: 1},
+		RxPolicy: &offload.FallbackPolicy{MaxRecoveryFailures: 3},
+	}
+	// Under heavy loss the software stream runs megabytes behind the wire,
+	// so resync responses lag the requests by several RTOs: give the run a
+	// long enough window for the round trips to complete.
+	r := RunChaosIperf(f, IperfTLSOffload, chaosStreams, 256<<10, 16<<10, 12*time.Millisecond)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.ForcedRejects == 0 {
+		t.Fatal("chaos never forced a resync rejection")
+	}
+	if r.EngFallbacks == 0 {
+		t.Error("no engine tripped the recovery-failure threshold")
+	}
+	if r.ConnsFailed != 0 {
+		t.Errorf("recovery fallback must not kill connections, yet %d died", r.ConnsFailed)
+	}
+}
+
+// TestChaosOffloadNeverSlower pins the paper's degradation guarantee: under
+// identical fault schedules the offloaded variant's single-core throughput
+// stays at or above its software baseline (a small tolerance absorbs the
+// draw-order divergence NIC chaos introduces between the two runs).
+func TestChaosOffloadNeverSlower(t *testing.T) {
+	f := ChaosSchedule(2, true)
+	off := RunChaosIperf(f, IperfTLSOffload, chaosStreams, 256<<10, 16<<10, chaosWindow)
+	sw := RunChaosIperf(f, IperfTLS, chaosStreams, 256<<10, 16<<10, chaosWindow)
+	if off.Gbps < sw.Gbps*0.9 {
+		t.Errorf("offload %.2f Gbps fell below software %.2f Gbps under chaos", off.Gbps, sw.Gbps)
+	}
+	offN := RunChaosNVMe(f, true, 8, 8, chaosWindow)
+	swN := RunChaosNVMe(f, false, 8, 8, chaosWindow)
+	if offN.Gbps < swN.Gbps*0.9 {
+		t.Errorf("nvme offload %.2f Gbps fell below software %.2f Gbps under chaos", offN.Gbps, swN.Gbps)
+	}
+}
+
+// TestChaosCorruptionTableShape regenerates the corruption sweep and spot
+// checks its shape: zero violations everywhere, no degradation at zero
+// corruption, and visible degradation at the top rate.
+func TestChaosCorruptionTableShape(t *testing.T) {
+	tab := ChaosCorruption()
+	if len(tab.Rows) != len(chaosCorruptRates) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(chaosCorruptRates))
+	}
+	for _, row := range tab.Rows {
+		if v := row[len(row)-1]; v != "0" {
+			t.Errorf("corruption rate %s: %s invariant violations", row[0], v)
+		}
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if first[4] != "0" || first[6] != "0" {
+		t.Errorf("degradation counters nonzero without corruption: %v", first)
+	}
+	if last[5] == "0" {
+		t.Errorf("no corruption drops at the top rate: %v", last)
+	}
+}

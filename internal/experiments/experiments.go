@@ -90,6 +90,7 @@ func All() []Experiment {
 		{"abl-recovery", "Ablation: receive-recovery machinery", AblationRecovery},
 		{"abl-magic", "Ablation: magic-pattern strength", AblationMagic},
 		{"abl-recsize", "Ablation: offload gain vs record size", AblationRecordSize},
+		{"chaos", "Chaos soak: corruption, bursts, blackouts, NIC faults", Chaos},
 	}
 }
 

@@ -40,6 +40,10 @@ type Config struct {
 	// false (ordinary user writes), both paths pay the user-to-kernel
 	// copy that the kernel's send path performs.
 	Sendfile bool
+	// RxFallback overrides the receive engine's degradation policy. Nil
+	// installs offload.DefaultFallbackPolicy (fall back to software
+	// permanently on the first authentication failure).
+	RxFallback *offload.FallbackPolicy
 }
 
 // PlainChunk is a run of received plaintext bytes delivered to the layer
@@ -64,6 +68,7 @@ type Stats struct {
 	SwDecryptBytes   uint64
 	ReencryptBytes   uint64 // partial-record re-encryption (§5.2)
 	ResyncResponses  uint64
+	AuthFailures     uint64 // records rejected by the software tag check
 }
 
 // Conn is a kernel-TLS-style record layer bound to one TCP socket.
@@ -97,6 +102,11 @@ type Conn struct {
 	// Record assembly.
 	inbuf    []tcpip.Chunk
 	inbufLen int
+
+	// dead marks a connection killed by a fatal record-layer error: TLS
+	// cannot resynchronize past a bad record, so nothing after it may be
+	// delivered (a skipped record would be a silent gap in the stream).
+	dead bool
 
 	// OnPlain receives decrypted application data in order. Required
 	// before any data arrives.
@@ -205,6 +215,11 @@ func (c *Conn) InstallRxEngine(dev Device, ops *RxOps, resync func(uint32)) *off
 	c.rxOffload = true
 	c.rxOps = ops
 	c.rxEngine = offload.NewRxEngine(ops, c.sock.ReadSeq(), resync)
+	if c.cfg.RxFallback != nil {
+		c.rxEngine.SetFallbackPolicy(*c.cfg.RxFallback)
+	} else {
+		c.rxEngine.SetFallbackPolicy(offload.DefaultFallbackPolicy())
+	}
 	dev.AttachRx(c.sock.Flow().Reverse(), c.rxEngine)
 	return c.rxEngine
 }
@@ -256,6 +271,9 @@ func (c *Conn) WriteSpace() int {
 // are written in plaintext with a dummy ICV for the NIC to fill; otherwise
 // they are encrypted in software.
 func (c *Conn) Write(p []byte) int {
+	if c.dead {
+		return 0
+	}
 	c.ledger.Charge(cycles.HostL5P, cycles.Syscall, c.model.SyscallCost, 0)
 	consumed := 0
 	for len(p) > 0 {
@@ -376,6 +394,9 @@ func (t *txSource) StreamBytes(from, to uint32) ([]byte, error) {
 
 // onReadable drains the socket and processes complete records.
 func (c *Conn) onReadable(s *tcpip.Socket) {
+	if c.dead {
+		return
+	}
 	for {
 		ch, ok := s.ReadChunk()
 		if !ok {
@@ -391,6 +412,7 @@ func (c *Conn) onReadable(s *tcpip.Socket) {
 }
 
 func (c *Conn) fail(err error) {
+	c.dead = true
 	if c.OnError != nil {
 		c.OnError(err)
 	} else {
@@ -399,7 +421,7 @@ func (c *Conn) fail(err error) {
 }
 
 func (c *Conn) processRecords() {
-	for c.inbufLen >= HeaderLen {
+	for !c.dead && c.inbufLen >= HeaderLen {
 		var hdr [HeaderLen]byte
 		c.peek(hdr[:])
 		layout, ok := ParseHeader(hdr[:])
@@ -547,10 +569,21 @@ func (c *Conn) softwareDecrypt(chunks []tcpip.Chunk, layout offload.MsgLayout, b
 	c.ledger.Charge(cycles.HostL5P, cycles.Decrypt, c.model.GCMCycles(bodyLen), bodyLen)
 	c.Stats.SwDecryptBytes += uint64(bodyLen)
 	if !s.Verify(rec[HeaderLen+bodyLen:]) {
-		c.fail(fmt.Errorf("ktls: record %d authentication failed", c.rxSeq))
+		c.authFailed(fmt.Errorf("ktls: record %d authentication failed", c.rxSeq))
 		return
 	}
 	c.emitBody(chunks, bodyLen, plain)
+}
+
+// authFailed rejects a corrupt record: the plaintext is never delivered,
+// the receive engine (if any) degrades per its fallback policy, and the
+// connection dies — TLS cannot resynchronize past a bad record.
+func (c *Conn) authFailed(err error) {
+	c.Stats.AuthFailures++
+	if c.rxEngine != nil {
+		c.rxEngine.NoteAuthFailure()
+	}
+	c.fail(err)
 }
 
 func (c *Conn) partialFallback(chunks []tcpip.Chunk, layout offload.MsgLayout, bodyLen int, recStart uint32) {
@@ -587,7 +620,7 @@ func (c *Conn) partialFallback(chunks []tcpip.Chunk, layout offload.MsgLayout, b
 	c.Stats.SwDecryptBytes += uint64(bodyLen)
 	c.Stats.ReencryptBytes += uint64(reenc)
 	if !s.Verify(rec[HeaderLen+bodyLen:]) {
-		c.fail(fmt.Errorf("ktls: partial record %d authentication failed", c.rxSeq))
+		c.authFailed(fmt.Errorf("ktls: partial record %d authentication failed", c.rxSeq))
 		return
 	}
 	c.emitBody(chunks, bodyLen, plain)

@@ -166,7 +166,8 @@ func (q *eventQueue) Pop() any {
 func (q eventQueue) peek() *event { return q[0] }
 
 // FaultConfig describes impairments applied to one link direction,
-// mirroring the netem knobs the paper uses in §6.4.
+// mirroring the netem knobs the paper uses in §6.4 plus the harsher
+// chaos-testing faults (corruption, burst loss, outages) real links show.
 type FaultConfig struct {
 	// LossProb is the probability a frame is silently dropped.
 	LossProb float64
@@ -178,18 +179,60 @@ type FaultConfig struct {
 	ReorderDelay time.Duration
 	// DupProb is the probability a frame is delivered twice.
 	DupProb float64
+	// CorruptProb is the probability a frame is delivered with its bytes
+	// damaged. The damage is applied by Corrupter, or, when Corrupter is
+	// nil, by flipping one uniformly chosen bit anywhere in the frame
+	// (which L3/L4 checksums then catch).
+	CorruptProb float64
+	// Corrupter, when set, applies the damage for CorruptProb to a private
+	// copy of the frame, drawing any randomness from rng so runs stay
+	// deterministic. It reports whether it actually changed anything
+	// (frames with nothing to corrupt — e.g. pure ACKs for a payload
+	// corrupter — pass through unchanged and uncounted).
+	Corrupter func(rng *rand.Rand, frame []byte) bool
+	// Burst, when set, adds a Gilbert–Elliott two-state burst-loss channel
+	// on top of LossProb.
+	Burst *GilbertElliott
+	// Blackouts lists timed link outages: frames sent while a window is
+	// active are dropped wholesale.
+	Blackouts []Blackout
 	// Seed seeds this direction's fault generator.
 	Seed int64
 }
 
+// GilbertElliott is the classic two-state Markov burst-loss channel: a
+// "good" state with low loss and a "bad" state with high loss, with
+// per-frame transition probabilities between them. It models the bursty
+// losses (buffer overruns, brief interference) that independent per-frame
+// LossProb cannot.
+type GilbertElliott struct {
+	// PGoodBad is the per-frame probability of moving good→bad.
+	PGoodBad float64
+	// PBadGood is the per-frame probability of moving bad→good.
+	PBadGood float64
+	// LossGood is the loss probability while in the good state.
+	LossGood float64
+	// LossBad is the loss probability while in the bad state.
+	LossBad float64
+}
+
+// Blackout is a timed link outage: every frame sent in [Start, End) is
+// lost, as when a cable flaps or a switch reboots.
+type Blackout struct {
+	Start, End time.Duration
+}
+
 // DirStats counts what happened on one link direction.
 type DirStats struct {
-	Sent       uint64 // frames handed to the link
-	Delivered  uint64 // frames delivered (duplicates count)
-	Dropped    uint64
-	Reordered  uint64
-	Duplicated uint64
-	Bytes      uint64 // payload-bearing frame bytes delivered
+	Sent          uint64 // frames handed to the link
+	Delivered     uint64 // frames delivered (duplicates count)
+	Dropped       uint64 // all drops (loss + burst + blackout)
+	Reordered     uint64
+	Duplicated    uint64
+	Corrupted     uint64 // frames delivered damaged
+	BurstDropped  uint64 // drops charged to the Gilbert–Elliott model
+	BlackoutDrops uint64 // drops charged to blackout windows
+	Bytes         uint64 // payload-bearing frame bytes delivered
 }
 
 // LinkConfig describes a duplex link.
@@ -225,6 +268,7 @@ type direction struct {
 	rng      *rand.Rand
 	stats    DirStats
 	nextFree time.Duration // when the serializer is next available
+	geBad    bool          // Gilbert–Elliott channel state
 }
 
 // NewLink creates a link; attach endpoints with AttachA/AttachB before
@@ -247,6 +291,26 @@ func (l *Link) SendAtoB(frame []byte) { l.send(0, frame) }
 
 // SendBtoA transmits a frame from B toward A.
 func (l *Link) SendBtoA(frame []byte) { l.send(1, frame) }
+
+// SetFaultsAtoB replaces the A→B impairments mid-run. Chaos harnesses use
+// this to keep connection establishment clean and arm faults only for the
+// measurement window. The direction's generator is re-seeded from the new
+// config, so the resulting fault sequence depends only on the config — not
+// on how many draws the previous one consumed.
+func (l *Link) SetFaultsAtoB(fc FaultConfig) { l.setFaults(0, fc) }
+
+// SetFaultsBtoA replaces the B→A impairments mid-run (see SetFaultsAtoB).
+func (l *Link) SetFaultsBtoA(fc FaultConfig) { l.setFaults(1, fc) }
+
+func (l *Link) setFaults(dir int, fc FaultConfig) {
+	if dir == 0 {
+		l.cfg.AtoB = fc
+	} else {
+		l.cfg.BtoA = fc
+	}
+	l.dirs[dir].rng = rand.New(rand.NewSource(fc.Seed + int64(dir) + 1))
+	l.dirs[dir].geBad = false
+}
 
 // StatsAtoB returns counters for the A→B direction.
 func (l *Link) StatsAtoB() DirStats { return l.dirs[0].stats }
@@ -280,6 +344,35 @@ func (l *Link) send(dir int, frame []byte) {
 	d.nextFree = start + serialize
 	arrive := start + serialize + l.cfg.Latency
 
+	// Blackout windows drop everything sent while active (no rng draw, so
+	// configuring them does not perturb the other faults' sequences).
+	for _, w := range fc.Blackouts {
+		if now >= w.Start && now < w.End {
+			d.stats.BlackoutDrops++
+			d.stats.Dropped++
+			return
+		}
+	}
+	// Gilbert–Elliott burst loss: advance the channel state, then draw
+	// against the current state's loss probability.
+	if ge := fc.Burst; ge != nil {
+		if d.geBad {
+			if d.rng.Float64() < ge.PBadGood {
+				d.geBad = false
+			}
+		} else if d.rng.Float64() < ge.PGoodBad {
+			d.geBad = true
+		}
+		p := ge.LossGood
+		if d.geBad {
+			p = ge.LossBad
+		}
+		if p > 0 && d.rng.Float64() < p {
+			d.stats.BurstDropped++
+			d.stats.Dropped++
+			return
+		}
+	}
 	if fc.LossProb > 0 && d.rng.Float64() < fc.LossProb {
 		d.stats.Dropped++
 		return
@@ -291,6 +384,22 @@ func (l *Link) send(dir int, frame []byte) {
 			extra = 4 * maxDuration(serialize, time.Microsecond)
 		}
 		arrive += extra
+	}
+	// Corruption damages a private copy so the sender's retransmit buffers
+	// (and a later duplicate of the same frame) are unaffected.
+	if fc.CorruptProb > 0 && d.rng.Float64() < fc.CorruptProb {
+		dam := append([]byte(nil), frame...)
+		changed := false
+		if fc.Corrupter != nil {
+			changed = fc.Corrupter(d.rng, dam)
+		} else if len(dam) > 0 {
+			dam[d.rng.Intn(len(dam))] ^= 1 << d.rng.Intn(8)
+			changed = true
+		}
+		if changed {
+			d.stats.Corrupted++
+			frame = dam
+		}
 	}
 	deliver := func() {
 		d.stats.Delivered++

@@ -1,0 +1,115 @@
+package nic
+
+import (
+	"math/rand"
+
+	"repro/internal/offload"
+)
+
+// ChaosConfig injects faults inside the NIC itself — the failure modes a
+// link-level fault model cannot produce: receive descriptor rings that
+// briefly run dry, context caches wiped by firmware resets, and resync
+// traffic between the engine and the driver going missing or wrong. All
+// draws come from one generator seeded by Seed, so a chaos run is exactly
+// reproducible.
+type ChaosConfig struct {
+	// Seed seeds the NIC's fault generator.
+	Seed int64
+	// CtxInvalidateProb is the per-context-access probability that the
+	// whole on-NIC context cache is invalidated (as by a firmware reset),
+	// forcing every flow to reload over PCIe. Only meaningful with a
+	// bounded cache (Config.CtxCacheFlows > 0).
+	CtxInvalidateProb float64
+	// RxStallProb is the per-frame probability that the receive ring
+	// stalls: this frame and the next RxStallFrames-1 are dropped as if
+	// no descriptors were posted. The stack sees it as loss and recovers
+	// through retransmission.
+	RxStallProb float64
+	// RxStallFrames is how many frames one stall swallows (default 4).
+	RxStallFrames int
+	// ResyncDropProb is the probability an engine's resync request is
+	// lost before reaching L5P software (the confirmation never comes).
+	ResyncDropProb float64
+	// ResyncRejectProb is the probability a software confirmation is
+	// mangled into a rejection, feeding the engine's fallback policy.
+	ResyncRejectProb float64
+}
+
+// chaosState is the NIC's live fault-injection state.
+type chaosState struct {
+	cfg         ChaosConfig
+	rng         *rand.Rand
+	stallLeft   int
+	stallFrames int
+}
+
+func newChaosState(cfg *ChaosConfig) *chaosState {
+	if cfg == nil {
+		return nil
+	}
+	c := &chaosState{cfg: *cfg, rng: rand.New(rand.NewSource(cfg.Seed + 11))}
+	c.stallFrames = cfg.RxStallFrames
+	if c.stallFrames <= 0 {
+		c.stallFrames = 4
+	}
+	return c
+}
+
+// stallDrop reports whether this arriving frame falls into a ring stall,
+// updating the stall window and counters.
+func (n *NIC) stallDrop() bool {
+	c := n.chaos
+	if c == nil || c.cfg.RxStallProb <= 0 {
+		return false
+	}
+	if c.stallLeft > 0 {
+		c.stallLeft--
+		n.Stats.RxRingStallDrops++
+		return true
+	}
+	if c.rng.Float64() < c.cfg.RxStallProb {
+		n.Stats.RxRingStalls++
+		n.Stats.RxRingStallDrops++
+		c.stallLeft = c.stallFrames - 1
+		return true
+	}
+	return false
+}
+
+// installEngineChaos wires the resync fault hooks into a freshly attached
+// receive engine.
+func (n *NIC) installEngineChaos(e *offload.RxEngine) {
+	c := n.chaos
+	if c == nil || (c.cfg.ResyncDropProb <= 0 && c.cfg.ResyncRejectProb <= 0) {
+		return
+	}
+	e.SetChaos(offload.RxChaos{
+		DropResyncReq: func(uint32) bool {
+			return c.cfg.ResyncDropProb > 0 && c.rng.Float64() < c.cfg.ResyncDropProb
+		},
+		ForceReject: func(uint32) bool {
+			return c.cfg.ResyncRejectProb > 0 && c.rng.Float64() < c.cfg.ResyncRejectProb
+		},
+	})
+}
+
+// rxSeen snapshots the per-engine degradation counters already folded into
+// nic.Stats, so repeated harvests only add deltas.
+type rxSeen struct {
+	fallbacks, corruptionDrops uint64
+}
+
+// harvestRx folds an engine's degradation counters into the device stats.
+// Called after each Process and at detach, it catches increments that
+// happen between packets too (e.g. a fallback tripped by a resync
+// response).
+func (n *NIC) harvestRx(e *offload.RxEngine) {
+	seen := n.rxSeen[e]
+	if d := e.Stats.Fallbacks - seen.fallbacks; d > 0 {
+		n.Stats.RxFallbacks += d
+	}
+	if d := e.Stats.CorruptionDrops - seen.corruptionDrops; d > 0 {
+		n.Stats.RxCorruptionDrops += d
+	}
+	n.rxSeen[e] = rxSeen{fallbacks: e.Stats.Fallbacks, corruptionDrops: e.Stats.CorruptionDrops}
+}

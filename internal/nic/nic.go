@@ -35,6 +35,8 @@ type Config struct {
 	// DropRxChecksumErrors silently discards frames that fail IP/TCP
 	// checksums (default behaviour of real NICs).
 	DropRxChecksumErrors bool
+	// Chaos, when set, injects NIC-internal faults (chaos.go).
+	Chaos *ChaosConfig
 }
 
 // Stats counts device events.
@@ -47,6 +49,13 @@ type Stats struct {
 	CtxCacheHits  uint64
 	CtxCacheMiss  uint64 // context reloaded over PCIe (Fig. 19 regime)
 	TxRecoveryDMA uint64 // bytes DMA-read for transmit context recovery
+
+	// Chaos and degradation counters.
+	RxRingStalls      uint64 // injected receive-ring stall episodes
+	RxRingStallDrops  uint64 // frames those stalls swallowed
+	CtxInvalidations  uint64 // injected whole-cache context invalidations
+	RxFallbacks       uint64 // flows whose rx engine fell back to software
+	RxCorruptionDrops uint64 // messages rx engines rejected as corrupt
 }
 
 // NIC is one host's network device.
@@ -61,6 +70,9 @@ type NIC struct {
 	// Context cache (LRU by flow+direction key).
 	cacheList *list.List
 	cacheMap  map[cacheKey]*list.Element
+
+	chaos  *chaosState
+	rxSeen map[*offload.RxEngine]rxSeen
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats Stats
@@ -86,6 +98,8 @@ func New(stack *tcpip.Stack, send func(frame []byte), cfg Config) *NIC {
 		rx:        make(map[wire.FlowID][]*offload.RxEngine),
 		cacheList: list.New(),
 		cacheMap:  make(map[cacheKey]*list.Element),
+		chaos:     newChaosState(cfg.Chaos),
+		rxSeen:    make(map[*offload.RxEngine]rxSeen),
 	}
 	stack.SetDevice(n)
 	return n
@@ -107,6 +121,7 @@ func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
 // packets (remote→local). Stacked L5Ps attach only the outermost engine;
 // inner engines are fed by the outer Ops' emission hook.
 func (n *NIC) AttachRx(flow wire.FlowID, e *offload.RxEngine) {
+	n.installEngineChaos(e)
 	n.rx[flow] = append(n.rx[flow], e)
 }
 
@@ -118,6 +133,10 @@ func (n *NIC) DetachTx(flow wire.FlowID) {
 
 // DetachRx removes all receive engines for the flow.
 func (n *NIC) DetachRx(flow wire.FlowID) {
+	for _, e := range n.rx[flow] {
+		n.harvestRx(e)
+		delete(n.rxSeen, e)
+	}
 	delete(n.rx, flow)
 	n.cacheDrop(cacheKey{flow: flow, rx: true})
 }
@@ -162,6 +181,9 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 func (n *NIC) DeliverFrame(frame []byte) {
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
+	if n.stallDrop() {
+		return // receive ring stalled: frame lost, TCP will retransmit
+	}
 	pkt, err := wire.Parse(frame)
 	if err != nil {
 		n.Stats.RxBadFrames++
@@ -180,6 +202,7 @@ func (n *NIC) DeliverFrame(frame []byte) {
 		n.cacheTouch(cacheKey{flow: pkt.Flow, rx: true})
 		for _, e := range engines {
 			flags |= e.Process(pkt.Seq, pkt.Payload, false)
+			n.harvestRx(e)
 		}
 	}
 	n.stack.Input(pkt, flags)
@@ -190,6 +213,13 @@ func (n *NIC) DeliverFrame(frame []byte) {
 func (n *NIC) cacheTouch(k cacheKey) {
 	if n.cfg.CtxCacheFlows <= 0 {
 		return
+	}
+	if c := n.chaos; c != nil && c.cfg.CtxInvalidateProb > 0 &&
+		c.rng.Float64() < c.cfg.CtxInvalidateProb {
+		// Firmware hiccup: every cached context is gone at once.
+		n.Stats.CtxInvalidations++
+		n.cacheList.Init()
+		n.cacheMap = make(map[cacheKey]*list.Element)
 	}
 	if el, ok := n.cacheMap[k]; ok {
 		n.cacheList.MoveToFront(el)

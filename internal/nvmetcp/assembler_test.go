@@ -46,7 +46,10 @@ func TestAssemblerReassemblesAnyChunking(t *testing.T) {
 			a.push(tcpip.Chunk{Seq: seq + uint32(off), Data: stream[off : off+n],
 				Flags: meta.NVMeOffloaded})
 			for {
-				chunks, layout, ok := a.next()
+				chunks, layout, ok, err := a.next()
+				if err != nil {
+					return false
+				}
 				if !ok {
 					break
 				}
@@ -87,9 +90,9 @@ func TestAssemblerChunkSeqsContiguous(t *testing.T) {
 	var a pduAssembler
 	a.push(tcpip.Chunk{Seq: 500, Data: pdu[:40]})
 	a.push(tcpip.Chunk{Seq: 540, Data: pdu[40:]})
-	chunks, _, ok := a.next()
-	if !ok {
-		t.Fatal("PDU not assembled")
+	chunks, _, ok, err := a.next()
+	if err != nil || !ok {
+		t.Fatalf("PDU not assembled (err=%v)", err)
 	}
 	expect := uint32(500)
 	for _, ch := range chunks {

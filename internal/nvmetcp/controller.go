@@ -29,10 +29,11 @@ func DecodeReadCmd(off uint64) (lba uint64, count int) {
 
 // CtrlStats counts target-side events.
 type CtrlStats struct {
-	CmdsRead     uint64
-	CmdsWrite    uint64
-	BytesServed  uint64
-	DigestErrors uint64
+	CmdsRead      uint64
+	CmdsWrite     uint64
+	BytesServed   uint64
+	DigestErrors  uint64
+	FramingErrors uint64 // unparseable capsule stream: association dead
 }
 
 // Controller is the NVMe-TCP target: it services command capsules from the
@@ -52,6 +53,11 @@ type Controller struct {
 
 	asm  pduAssembler
 	outq [][]byte
+	dead bool
+
+	// OnError receives fatal association errors (malformed framing from
+	// corruption); the target stops serving the connection.
+	OnError func(error)
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats CtrlStats
@@ -81,9 +87,23 @@ func (c *Controller) EnableTxOffload(dev Device) {
 }
 
 func (c *Controller) onData(ch tcpip.Chunk) {
+	if c.dead {
+		return
+	}
 	c.asm.push(ch)
 	for {
-		chunks, layout, ok := c.asm.next()
+		chunks, layout, ok, err := c.asm.next()
+		if err != nil {
+			// The command stream is unparseable: stop serving rather than
+			// act on misframed commands. The host's requests time out or
+			// fail on its own side of the association.
+			c.dead = true
+			c.Stats.FramingErrors++
+			if c.OnError != nil {
+				c.OnError(err)
+			}
+			return
+		}
 		if !ok {
 			return
 		}

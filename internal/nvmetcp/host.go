@@ -31,11 +31,12 @@ type HostStats struct {
 	Writes uint64
 	PDUsRx uint64
 
-	BytesCopied  uint64 // software memcpy into block-layer buffers
-	BytesPlaced  uint64 // NIC direct placement made the memcpy a no-op
-	CRCSwBytes   uint64 // software data-digest computation
-	CRCSkipped   uint64 // PDUs whose digest check the NIC already did
-	DigestErrors uint64
+	BytesCopied   uint64 // software memcpy into block-layer buffers
+	BytesPlaced   uint64 // NIC direct placement made the memcpy a no-op
+	CRCSwBytes    uint64 // software data-digest computation
+	CRCSkipped    uint64 // PDUs whose digest check the NIC already did
+	DigestErrors  uint64
+	FramingErrors uint64 // unparseable capsule stream: association dead
 
 	ResyncResponses uint64
 }
@@ -78,6 +79,14 @@ type Host struct {
 	// cost (beyond the LLC, copies hit DRAM — Fig. 10's depth cliff).
 	WorkingSetBytes int
 
+	// dead marks an association whose capsule stream became unparseable;
+	// no further PDUs are processed.
+	dead bool
+
+	// OnError receives fatal association errors (malformed framing from
+	// corruption). All in-flight requests complete with the error first.
+	OnError func(error)
+
 	// Stats is exported for experiments; treat as read-only.
 	Stats HostStats
 }
@@ -118,6 +127,7 @@ func (h *Host) CreateRxEngineParts(startSeq uint32, place, crc bool) *offload.Rx
 	}
 	ops := NewRxOpsParts(h.model, h.ledger, rr, place, crc)
 	h.rxEngine = offload.NewRxEngine(ops, startSeq, h.resyncRequested)
+	h.rxEngine.SetFallbackPolicy(offload.DefaultFallbackPolicy())
 	return h.rxEngine
 }
 
@@ -136,6 +146,7 @@ func (h *Host) CreateSparseRxEngineParts(place, crc bool) *offload.RxEngine {
 	}
 	ops := NewRxOpsParts(h.model, h.ledger, rr, place, crc)
 	h.rxEngine = offload.NewSparseRxEngine(ops, h.resyncRequested)
+	h.rxEngine.SetFallbackPolicy(offload.DefaultFallbackPolicy())
 	return h.rxEngine
 }
 
@@ -231,13 +242,48 @@ func (h *Host) pump() {
 }
 
 func (h *Host) onData(ch tcpip.Chunk) {
+	if h.dead {
+		return
+	}
 	h.asm.push(ch)
 	for {
-		chunks, layout, ok := h.asm.next()
+		chunks, layout, ok, err := h.asm.next()
+		if err != nil {
+			h.framingError(err)
+			return
+		}
 		if !ok {
 			return
 		}
 		h.handlePDU(chunks, layout)
+		if h.dead {
+			return
+		}
+	}
+}
+
+// framingError tears the association down gracefully: the stream can no
+// longer be parsed, so every in-flight request fails (in CID order, for
+// determinism) and the error is surfaced instead of delivering misframed
+// bytes or crashing.
+func (h *Host) framingError(err error) {
+	h.dead = true
+	h.Stats.FramingErrors++
+	if h.rxEngine != nil {
+		h.rxEngine.NoteAuthFailure()
+	}
+	cids := make([]int, 0, len(h.pending))
+	for cid := range h.pending {
+		cids = append(cids, int(cid))
+	}
+	sort.Ints(cids)
+	for _, cid := range cids {
+		if req, ok := h.pending[uint16(cid)]; ok {
+			h.complete(uint16(cid), req, err)
+		}
+	}
+	if h.OnError != nil {
+		h.OnError(err)
 	}
 }
 
@@ -312,7 +358,12 @@ func (h *Host) handlePDU(chunks []tcpip.Chunk, layout offload.MsgLayout) {
 		h.Stats.CRCSwBytes += uint64(hdr.DataLen)
 		wireDg := flattenRange(chunks, dataEnd, dataEnd+DigestLen)
 		if binary.BigEndian.Uint32(wireDg) != got {
+			// Corrupt payload: the request fails, nothing is accepted, and
+			// the receive engine degrades per its fallback policy.
 			h.Stats.DigestErrors++
+			if h.rxEngine != nil {
+				h.rxEngine.NoteAuthFailure()
+			}
 			h.complete(hdr.CID, req, fmt.Errorf("nvmetcp: data digest mismatch CID %d", hdr.CID))
 			return
 		}
@@ -442,11 +493,13 @@ func (a *pduAssembler) push(ch tcpip.Chunk) {
 }
 
 // next returns the chunks of the next complete PDU, or ok=false if more
-// bytes are needed. It panics on malformed framing (the transports are
-// reliable byte streams; corruption indicates a bug).
-func (a *pduAssembler) next() ([]tcpip.Chunk, offload.MsgLayout, bool) {
+// bytes are needed. Malformed framing (a header whose magic or header
+// digest does not verify — corruption that slipped past L4) returns an
+// error: the byte stream can no longer be parsed and the association must
+// be torn down rather than risk delivering misframed data.
+func (a *pduAssembler) next() ([]tcpip.Chunk, offload.MsgLayout, bool, error) {
 	if a.inbufLen < HeaderLen {
-		return nil, offload.MsgLayout{}, false
+		return nil, offload.MsgLayout{}, false, nil
 	}
 	hdr := make([]byte, HeaderLen)
 	n := 0
@@ -458,12 +511,13 @@ func (a *pduAssembler) next() ([]tcpip.Chunk, offload.MsgLayout, bool) {
 	}
 	layout, ok := ParseHeader(hdr)
 	if !ok {
-		panic(fmt.Sprintf("nvmetcp: malformed PDU header % x", hdr))
+		return nil, offload.MsgLayout{}, false,
+			fmt.Errorf("nvmetcp: malformed PDU header % x", hdr)
 	}
 	if a.inbufLen < layout.Total {
-		return nil, offload.MsgLayout{}, false
+		return nil, offload.MsgLayout{}, false, nil
 	}
-	return a.take(layout.Total), layout, true
+	return a.take(layout.Total), layout, true, nil
 }
 
 func (a *pduAssembler) take(n int) []tcpip.Chunk {

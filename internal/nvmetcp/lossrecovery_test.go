@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/netsim"
+	"repro/internal/wire"
 )
 
 // TestConcurrentTLSReadsUnderLoss regression-tests the RTO loss-recovery
@@ -81,6 +82,155 @@ func TestWriteTxOffloadUnderLoss(t *testing.T) {
 		for j := range got {
 			if got[j] != byte(i*31+j) {
 				t.Fatalf("write %d byte %d corrupted", i, j)
+			}
+		}
+	}
+}
+
+// TestReadsUnderDuplication adds packet duplication on the response path:
+// the receive engine must bypass duplicate frames as "past" packets while
+// every read still completes with byte-exact data.
+func TestReadsUnderDuplication(t *testing.T) {
+	w := newStorageWorld(t, storageOpts{
+		link: netsim.LinkConfig{
+			Gbps:    100,
+			Latency: 2 * time.Microsecond,
+			BtoA:    netsim.FaultConfig{DupProb: 0.05, LossProb: 0.01, Seed: 21},
+		},
+		rxOffload: true,
+	})
+	const requests = 16
+	remaining := requests
+	bufs := make([][]byte, requests)
+	for i := 0; i < requests; i++ {
+		bufs[i] = make([]byte, 32*blockdev.BlockSize)
+		w.host.ReadBlocks(uint64(i*32), 32, bufs[i], func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			remaining--
+		})
+	}
+	w.sim.RunFor(3 * time.Second)
+	if remaining != 0 {
+		t.Fatalf("%d of %d reads never completed", remaining, requests)
+	}
+	for i, buf := range bufs {
+		want := wantBlocks(uint64(i*32), 32)
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("read %d byte %d: got %#x want %#x", i, j, buf[j], want[j])
+			}
+		}
+	}
+	st := w.host.RxEngine().Stats
+	if st.PktsBypassed == 0 {
+		t.Errorf("no duplicate frames were bypassed: %+v", st)
+	}
+	if w.host.Stats.DigestErrors != 0 {
+		t.Errorf("duplication caused %d digest errors", w.host.Stats.DigestErrors)
+	}
+}
+
+// TestReadsUnderDetectableCorruption flips raw frame bits without repairing
+// the TCP checksum: layer 4 must absorb every corrupt frame as loss, so all
+// reads complete intact and no digest error ever reaches NVMe.
+func TestReadsUnderDetectableCorruption(t *testing.T) {
+	w := newStorageWorld(t, storageOpts{
+		link: netsim.LinkConfig{
+			Gbps:    100,
+			Latency: 2 * time.Microsecond,
+			BtoA:    netsim.FaultConfig{CorruptProb: 0.03, Seed: 31},
+		},
+		rxOffload: true,
+	})
+	const requests = 16
+	remaining := requests
+	bufs := make([][]byte, requests)
+	for i := 0; i < requests; i++ {
+		bufs[i] = make([]byte, 32*blockdev.BlockSize)
+		w.host.ReadBlocks(uint64(i*32), 32, bufs[i], func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			remaining--
+		})
+	}
+	w.sim.RunFor(3 * time.Second)
+	if remaining != 0 {
+		t.Fatalf("%d of %d reads never completed", remaining, requests)
+	}
+	for i, buf := range bufs {
+		want := wantBlocks(uint64(i*32), 32)
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("read %d byte %d: got %#x want %#x", i, j, buf[j], want[j])
+			}
+		}
+	}
+	if w.link.StatsBtoA().Corrupted == 0 {
+		t.Fatal("fault injector never corrupted a frame")
+	}
+	if w.host.Stats.DigestErrors != 0 || w.host.Stats.FramingErrors != 0 {
+		t.Errorf("checksum-detectable corruption leaked past TCP: %+v", w.host.Stats)
+	}
+}
+
+// TestReadsUnderEvadingCorruption repairs the TCP checksum after flipping a
+// payload bit, so only the NVMe data digest can catch it. Corrupt reads
+// must fail with an explicit digest (or framing) error — never deliver a
+// wrong byte — and the receive engine must degrade to software per its
+// default policy. Clean reads still return byte-exact data.
+func TestReadsUnderEvadingCorruption(t *testing.T) {
+	w := newStorageWorld(t, storageOpts{
+		link: netsim.LinkConfig{
+			Gbps:    100,
+			Latency: 2 * time.Microsecond,
+			BtoA: netsim.FaultConfig{
+				CorruptProb: 0.02,
+				Corrupter:   wire.CorruptPayload,
+				Seed:        41,
+			},
+		},
+		rxOffload: true,
+	})
+	const requests = 16
+	okReads, failedReads := 0, 0
+	bufs := make([][]byte, requests)
+	oks := make([]bool, requests)
+	for i := 0; i < requests; i++ {
+		i := i
+		bufs[i] = make([]byte, 32*blockdev.BlockSize)
+		w.host.ReadBlocks(uint64(i*32), 32, bufs[i], func(err error) {
+			if err != nil {
+				failedReads++
+			} else {
+				okReads++
+				oks[i] = true
+			}
+		})
+	}
+	w.sim.RunFor(3 * time.Second)
+	if okReads+failedReads != requests {
+		t.Fatalf("%d reads unaccounted", requests-okReads-failedReads)
+	}
+	if failedReads == 0 {
+		t.Fatal("evading corruption never failed a read")
+	}
+	if w.host.Stats.DigestErrors+w.host.Stats.FramingErrors == 0 {
+		t.Errorf("failed reads but no digest/framing error recorded: %+v", w.host.Stats)
+	}
+	if !w.host.RxEngine().FellBack() {
+		t.Error("receive engine did not degrade to software after the integrity failure")
+	}
+	for i, buf := range bufs {
+		if !oks[i] {
+			continue
+		}
+		want := wantBlocks(uint64(i*32), 32)
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("successful read %d delivered wrong byte at %d", i, j)
 			}
 		}
 	}

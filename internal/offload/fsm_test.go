@@ -1,0 +1,247 @@
+package offload
+
+// Table-driven walk of the receive engine's recovery state machine:
+// offloading → searching → tracking → offloading (§4.3), including the
+// paths the narrative tests don't pin down one by one — resync rejection,
+// tracking aborts, the degradation policy tripping into permanent
+// fallback, and the chaos hooks that simulate a faulty NIC.
+
+import (
+	"testing"
+
+	"repro/internal/meta"
+)
+
+// fsmResponder answers resync requests one packet later, in one of three
+// modes: truthfully confirm, always reject, or never answer.
+type fsmResponder struct {
+	st    *stream
+	e     *RxEngine
+	mode  string // "confirm", "reject", "none"
+	queue []uint32
+}
+
+func (h *fsmResponder) request(seq uint32) {
+	if h.mode == "none" {
+		return
+	}
+	h.queue = append(h.queue, seq)
+}
+
+func (h *fsmResponder) tick() {
+	for _, seq := range h.queue {
+		idx, ok := h.st.boundaries[seq]
+		if h.mode == "reject" {
+			ok = false
+		}
+		h.e.ResyncResponse(seq, ok, idx)
+	}
+	h.queue = nil
+}
+
+func TestRxEngineFSM(t *testing.T) {
+	// Message bodies chosen so that, when packet 1 (bytes [1100,1200)) is
+	// lost, the search that starts in packet 2 finds message 2's header at
+	// 1252 and expects the next one at 1408; losing packet 4 (which holds
+	// that header) then aborts the tracking chain.
+	bodies := []int{150, 90, 150, 150, 150, 150, 150, 150, 150, 150}
+
+	cases := []struct {
+		name    string
+		bodies  []int
+		lose    map[int]bool
+		respond string
+		policy  FallbackPolicy
+		chaos   RxChaos
+		corrupt bool // damage the final message's trailer
+		want    string
+		check   func(t *testing.T, e *RxEngine, ops *tpOps)
+	}{
+		{
+			name:    "clean stream stays offloading",
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ResyncRequests != 0 || e.Stats.MsgsCompleted != 10 {
+					t.Errorf("stats %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "body-only gap relocks without resync",
+			bodies:  []int{250, 250, 250, 250},
+			lose:    map[int]bool{1: true},
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.Relocks != 1 || e.Stats.ResyncRequests != 0 {
+					t.Errorf("stats %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "header loss: search, track, confirm, re-offload",
+			lose:    map[int]bool{1: true},
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ResyncRequests == 0 || e.Stats.ResyncConfirms == 0 {
+					t.Errorf("no resync round trip: %+v", e.Stats)
+				}
+				if e.Stats.MsgsBlind == 0 {
+					t.Error("tracked messages should complete blind")
+				}
+				if e.Stats.PktsOffloaded == 0 || e.Stats.PktsUnoffloaded == 0 {
+					t.Errorf("expected mixed verdicts: %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "rejected confirmation resumes searching",
+			lose:    map[int]bool{1: true},
+			respond: "reject",
+			want:    "searching",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ResyncRejects == 0 {
+					t.Errorf("no rejects: %+v", e.Stats)
+				}
+				if e.FellBack() {
+					t.Error("zero policy must never fall back")
+				}
+			},
+		},
+		{
+			name:    "lost packet during tracking aborts",
+			lose:    map[int]bool{1: true, 4: true},
+			respond: "none",
+			want:    "tracking",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.TrackingAborts == 0 {
+					t.Errorf("no tracking abort: %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "reject threshold trips permanent fallback",
+			lose:    map[int]bool{1: true},
+			respond: "reject",
+			policy:  FallbackPolicy{MaxRecoveryFailures: 1},
+			want:    "fallback",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if !e.FellBack() || e.Stats.Fallbacks != 1 {
+					t.Errorf("fallback not recorded: %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "abort threshold trips permanent fallback",
+			lose:    map[int]bool{1: true, 4: true},
+			respond: "none",
+			policy:  FallbackPolicy{MaxRecoveryFailures: 1},
+			want:    "fallback",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if !e.FellBack() {
+					t.Errorf("no fallback: %+v", e.Stats)
+				}
+				if e.Stats.PktsUnoffloaded == 0 {
+					t.Error("post-fallback packets must pass through unprocessed")
+				}
+			},
+		},
+		{
+			name:    "corrupt trailer drops message and falls back",
+			respond: "confirm",
+			policy:  FallbackPolicy{FallbackOnAuthFailure: true},
+			corrupt: true,
+			want:    "fallback",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.CorruptionDrops != 1 || e.Stats.MsgsFailed != 1 {
+					t.Errorf("corruption not recorded: %+v", e.Stats)
+				}
+				if ops.failed != 1 {
+					t.Errorf("ops.failed=%d", ops.failed)
+				}
+			},
+		},
+		{
+			name:    "corrupt trailer without policy keeps offloading",
+			respond: "confirm",
+			corrupt: true,
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.CorruptionDrops != 1 || e.Stats.Fallbacks != 0 {
+					t.Errorf("stats %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "chaos drops the resync request",
+			lose:    map[int]bool{1: true},
+			respond: "confirm",
+			chaos:   RxChaos{DropResyncReq: func(uint32) bool { return true }},
+			want:    "tracking",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ResyncDropped == 0 || e.Stats.ResyncConfirms != 0 {
+					t.Errorf("request not dropped: %+v", e.Stats)
+				}
+				// With the confirmation lost, the engine tracks forever:
+				// packets keep flowing to software, never offloaded.
+				if e.Stats.PktsUnoffloaded == 0 {
+					t.Errorf("stats %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "chaos mangles the confirmation into a rejection",
+			lose:    map[int]bool{1: true},
+			respond: "confirm",
+			chaos:   RxChaos{ForceReject: func(uint32) bool { return true }},
+			want:    "searching",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ForcedRejects == 0 || e.Stats.ResyncConfirms != 0 {
+					t.Errorf("no forced reject: %+v", e.Stats)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.bodies
+			if b == nil {
+				b = bodies
+			}
+			ops := &tpOps{t: t}
+			st := buildStream(1000, b, 6)
+			if tc.corrupt {
+				st.data[len(st.data)-1] ^= 0xFF
+			}
+			h := &fsmResponder{st: st, mode: tc.respond}
+			e := NewRxEngine(ops, 1000, h.request)
+			h.e = e
+			e.SetFallbackPolicy(tc.policy)
+			e.SetChaos(tc.chaos)
+
+			var sawOffloaded bool
+			for i, p := range st.packets(repeatSizes(100, 100)) {
+				if tc.lose[i] {
+					continue
+				}
+				flags := e.Process(p.seq, p.data, false)
+				h.tick()
+				if flags.Has(meta.TLSOffloaded) {
+					sawOffloaded = true
+				}
+			}
+			if e.State() != tc.want {
+				t.Errorf("final state %q, want %q (stats %+v)", e.State(), tc.want, e.Stats)
+			}
+			if !sawOffloaded {
+				t.Error("no packet was ever offloaded")
+			}
+			if tc.check != nil {
+				tc.check(t, e, ops)
+			}
+		})
+	}
+}

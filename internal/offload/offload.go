@@ -106,6 +106,10 @@ type RxStats struct {
 	ResyncConfirms  uint64
 	ResyncRejects   uint64
 	TrackingAborts  uint64 // bad magic while tracking (Fig. 7 d1)
+	CorruptionDrops uint64 // messages rejected for failed integrity checks
+	Fallbacks       uint64 // permanent falls back to software (0 or 1)
+	ResyncDropped   uint64 // chaos: resync requests lost inside the NIC
+	ForcedRejects   uint64 // chaos: confirmations treated as rejections
 }
 
 type rxState int
@@ -114,6 +118,7 @@ const (
 	rxOffloading rxState = iota
 	rxSearching
 	rxTracking
+	rxFallback // permanent software fallback (degradation policy tripped)
 )
 
 func (s rxState) String() string {
@@ -124,6 +129,8 @@ func (s rxState) String() string {
 		return "searching"
 	case rxTracking:
 		return "tracking"
+	case rxFallback:
+		return "fallback"
 	}
 	return fmt.Sprintf("rxState(%d)", int(s))
 }
@@ -178,6 +185,12 @@ type RxEngine struct {
 	lastLayout    MsgLayout // its layout (for blind resumption)
 	sparseToNext  int       // sparse tracking: bytes until the next header
 
+	// Degradation policy (fallback.go).
+	policy          FallbackPolicy
+	recoveryFails   int  // consecutive failed recovery attempts
+	pendingFallback bool // integrity failure seen mid-packet
+	chaos           RxChaos
+
 	// Stats is exported for experiments; treat as read-only.
 	Stats RxStats
 }
@@ -224,6 +237,11 @@ func seqSub(a, b uint32) int { return int(int32(a - b)) }
 func (e *RxEngine) Process(seq uint32, data []byte, contiguous bool) meta.RxFlags {
 	if len(data) == 0 {
 		return 0
+	}
+	if e.state == rxFallback {
+		// Permanently degraded: software handles everything.
+		e.Stats.PktsUnoffloaded++
+		return e.ops.PacketVerdict(false, true)
 	}
 	if e.sparse {
 		return e.processSparse(seq, data, contiguous)
@@ -272,8 +290,13 @@ func (e *RxEngine) processInSeq(data []byte) meta.RxFlags {
 				// The stream under us is not what we thought: lose sync
 				// and fall into speculative search.
 				e.expected += uint32(len(data))
-				e.enterSearching(e.expected-uint32(len(data)-pos), data[pos:])
-				return e.ops.PacketVerdict(true, checksOK)
+				verdict := e.ops.PacketVerdict(true, checksOK)
+				if e.pendingFallback {
+					e.enterFallback()
+				} else {
+					e.enterSearching(e.expected-uint32(len(data)-pos), data[pos:])
+				}
+				return verdict
 			}
 			e.layout = layout
 			e.inMsg = true
@@ -303,8 +326,15 @@ func (e *RxEngine) processInSeq(data []byte) meta.RxFlags {
 			if e.ops.EndMessage() {
 				e.Stats.MsgsCompleted++
 			} else {
+				// Integrity failure: the message is corrupt. It is flagged
+				// (not delivered as good bytes) and, under the policy, the
+				// flow degrades to software permanently.
 				e.Stats.MsgsFailed++
+				e.Stats.CorruptionDrops++
 				checksOK = false
+				if e.policy.FallbackOnAuthFailure {
+					e.pendingFallback = true
+				}
 			}
 			e.inMsg = false
 			e.msgOff = 0
@@ -312,7 +342,11 @@ func (e *RxEngine) processInSeq(data []byte) meta.RxFlags {
 		}
 	}
 	e.expected += uint32(len(data))
-	return e.ops.PacketVerdict(true, checksOK)
+	verdict := e.ops.PacketVerdict(true, checksOK)
+	if e.pendingFallback {
+		e.enterFallback()
+	}
+	return verdict
 }
 
 // processOoS handles a packet that does not match the expected sequence
@@ -489,10 +523,7 @@ func (e *RxEngine) search(seq uint32, data []byte) {
 		e.trackHdr = e.trackHdr[:0]
 		e.lastHdr = append(e.lastHdr[:0], buf[i:i+hdrLen]...)
 		e.lastLayout = layout
-		e.Stats.ResyncRequests++
-		if e.resyncReq != nil {
-			e.resyncReq(cand)
-		}
+		e.sendResyncReq(cand)
 		// The rest of this packet may already contain the next header(s).
 		e.trackFrom(cand+uint32(hdrLen), buf[i+hdrLen:], baseSeq+uint32(len(buf)))
 		return
@@ -518,6 +549,9 @@ func (e *RxEngine) track(seq uint32, data []byte) {
 		if seqLT(e.nextHdrSeq, seq) || len(e.trackHdr) > 0 {
 			// We can no longer verify the tracked chain: start over.
 			e.Stats.TrackingAborts++
+			if e.noteRecoveryFailure() {
+				return
+			}
 			e.state = rxSearching
 			e.tailValid = false
 			e.awaitingResp = false
@@ -566,6 +600,9 @@ func (e *RxEngine) trackFrom(seq uint32, data []byte, newExpected uint32) {
 		if !ok || !layout.valid(hdrLen) {
 			// Misidentified: back to searching over what remains (d1).
 			e.Stats.TrackingAborts++
+			if e.noteRecoveryFailure() {
+				return
+			}
 			e.state = rxSearching
 			e.tailValid = false
 			e.awaitingResp = false
@@ -597,6 +634,7 @@ func (e *RxEngine) tryResumeAfterConfirm() {
 	e.msgOff = 0
 	e.hdrBuf = e.hdrBuf[:0]
 	e.confirmed = false
+	e.recoveryFails = 0 // successful resume: the flow is healthy again
 	if e.trackExpected == e.nextHdrSeq {
 		// The next packet begins exactly at a message boundary.
 		e.msgIndex = e.confirmedIdx + e.trackCount + 1
@@ -618,8 +656,15 @@ func (e *RxEngine) ResyncResponse(seq uint32, ok bool, msgIndex uint64) {
 		return // stale response for an abandoned candidate
 	}
 	e.awaitingResp = false
+	if ok && e.chaos.ForceReject != nil && e.chaos.ForceReject(seq) {
+		ok = false
+		e.Stats.ForcedRejects++
+	}
 	if !ok {
 		e.Stats.ResyncRejects++
+		if e.noteRecoveryFailure() {
+			return
+		}
 		e.state = rxSearching
 		e.tailValid = false
 		return

@@ -48,6 +48,9 @@ func (e *RxEngine) processSparse(seq uint32, data []byte, contiguous bool) meta.
 		if !contiguous {
 			// The tracked chain broke: whatever we counted is void.
 			e.Stats.TrackingAborts++
+			if e.noteRecoveryFailure() {
+				return e.ops.PacketVerdict(false, true)
+			}
 			e.state = rxSearching
 			e.tailValid = false
 			e.awaitingResp = false
@@ -95,10 +98,7 @@ func (e *RxEngine) searchSparse(seq uint32, data []byte, contiguous bool) {
 		e.lastHdr = append(e.lastHdr[:0], buf[i:i+hdrLen]...)
 		e.lastLayout = layout
 		e.sparseToNext = layout.Total - hdrLen
-		e.Stats.ResyncRequests++
-		if e.resyncReq != nil {
-			e.resyncReq(cand)
-		}
+		e.sendResyncReq(cand)
 		// Consume the rest of this emission under tracking. Wire seq for
 		// the remainder: it lies within `data` unless the candidate's
 		// header ends inside the tail (then the rest starts at seq +
@@ -146,6 +146,9 @@ func (e *RxEngine) trackConsumeSparse(seq uint32, data []byte) {
 			if !ok || !layout.valid(hdrLen) {
 				// Misidentified candidate (Fig. 7 d1).
 				e.Stats.TrackingAborts++
+				if e.noteRecoveryFailure() {
+					return
+				}
 				e.state = rxSearching
 				e.tailValid = false
 				e.awaitingResp = false
@@ -183,6 +186,7 @@ func (e *RxEngine) tryResumeSparse() {
 	e.msgOff = 0
 	e.hdrBuf = e.hdrBuf[:0]
 	e.confirmed = false
+	e.recoveryFails = 0 // successful resume: the flow is healthy again
 	if e.sparseToNext == 0 {
 		e.msgIndex = e.confirmedIdx + e.trackCount + 1
 		return
