@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check fmt experiments
+.PHONY: all build test vet race check alloc-check bench fmt experiments
 
 all: build
 
@@ -19,7 +19,18 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-check: vet race
+check: vet race alloc-check
+
+# The race detector instruments allocations, so the zero-alloc guarantees
+# (disabled telemetry must not allocate on the per-packet path) are
+# asserted in a separate non-race run.
+alloc-check:
+	$(GO) test -count=1 -run 'ZeroAlloc|NoAlloc' ./internal/telemetry/
+
+# One data point on the perf trajectory: every paper benchmark once, in
+# test2json form for machine diffing across PRs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_3.json
 
 fmt:
 	gofmt -l internal cmd

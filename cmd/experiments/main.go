@@ -2,6 +2,10 @@
 // simulated testbeds. With no arguments it runs everything in paper order;
 // pass experiment ids (e.g. `experiments fig13 tab4`) to run a subset, or
 // -list to enumerate them.
+//
+// Observability: -trace writes a Chrome trace_event JSON of the run
+// (load it at chrome://tracing or https://ui.perfetto.dev), and
+// -metrics-out dumps every registered counter and latency histogram.
 package main
 
 import (
@@ -11,10 +15,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	metricsPath := flag.String("metrics-out", "", "write counters and histograms to this file (- for stdout)")
+	traceCap := flag.Int("trace-cap", telemetry.DefaultTraceCap, "trace ring capacity in events (oldest dropped beyond this)")
 	flag.Parse()
 
 	if *list {
@@ -22,6 +30,12 @@ func main() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	var sys *telemetry.System
+	if *tracePath != "" || *metricsPath != "" {
+		sys = telemetry.NewSystem(*traceCap)
+		experiments.UseTelemetry(sys)
 	}
 
 	var todo []experiments.Experiment
@@ -43,5 +57,40 @@ func main() {
 			t.Fprint(os.Stdout)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if sys == nil {
+		return
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sys.Trace.WriteChrome(f); err == nil {
+			err = f.Close()
+			if err == nil && sys.Trace.Lost() > 0 {
+				fmt.Fprintf(os.Stderr, "trace: ring overflowed; %d oldest events dropped (raise -trace-cap)\n", sys.Trace.Lost())
+			}
+		} else {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", sys.Trace.Len(), *tracePath)
+	}
+	if *metricsPath != "" {
+		out := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		sys.Reg.Snapshot().Fprint(out)
 	}
 }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// tel is the run's telemetry system; nil means disabled (the default).
+// Every world built while it is set wires its links, stacks, NICs, and
+// offload engines in. Worlds run sequentially and each restarts virtual
+// time at zero, so each world becomes its own process on the timeline.
+var tel *telemetry.System
+
+// UseTelemetry installs (or, with nil, removes) the telemetry system that
+// subsequently built worlds attach to. cmd/experiments calls it when
+// -trace or -metrics-out is given.
+func UseTelemetry(s *telemetry.System) { tel = s }
+
+// Telemetry returns the installed system (nil when disabled).
+func Telemetry() *telemetry.System { return tel }
+
+// attachTelemetry wires one machine's stack and NIC under prefix.
+func (m *Machine) attachTelemetry(prefix string) {
+	if tel == nil {
+		return
+	}
+	m.Stack.SetTracer(tel.Trace, prefix+".tcp")
+	tel.Reg.RegisterCounters(prefix+".tcp", &m.Stack.Stats)
+	m.NIC.SetTelemetry(tel.Trace, tel.Reg, prefix+".nic")
+}
+
+// attachTelemetry opens a new trace world for the pair topology and wires
+// the link and both machines into it.
+func (w *PairWorld) attachTelemetry(world string) {
+	if tel == nil {
+		return
+	}
+	pid := tel.Trace.AttachClock(w.Sim.Now, world)
+	p := fmt.Sprintf("w%d", pid)
+	w.Link.EnableTrace(tel.Trace, p+".link")
+	tel.Reg.RegisterCounters(p+".link.ab", w.Link.StatsPtrAtoB())
+	tel.Reg.RegisterCounters(p+".link.ba", w.Link.StatsPtrBtoA())
+	w.Gen.attachTelemetry(p + ".gen")
+	w.Srv.attachTelemetry(p + ".srv")
+}
+
+// FlushTelemetry closes out per-engine accounting. Call after traffic,
+// before exporting.
+func (w *PairWorld) FlushTelemetry() {
+	if tel == nil {
+		return
+	}
+	w.Gen.NIC.FlushTelemetry()
+	w.Srv.NIC.FlushTelemetry()
+}
+
+// attachTelemetry opens a new trace world for the storage topology and
+// wires both links and all three machines into it.
+func (w *StorageWorld) attachTelemetry(world string) {
+	if tel == nil {
+		return
+	}
+	pid := tel.Trace.AttachClock(w.Sim.Now, world)
+	p := fmt.Sprintf("w%d", pid)
+	w.telPrefix = p
+	w.Front.EnableTrace(tel.Trace, p+".front")
+	w.Back.EnableTrace(tel.Trace, p+".back")
+	tel.Reg.RegisterCounters(p+".front.ab", w.Front.StatsPtrAtoB())
+	tel.Reg.RegisterCounters(p+".front.ba", w.Front.StatsPtrBtoA())
+	tel.Reg.RegisterCounters(p+".back.ab", w.Back.StatsPtrAtoB())
+	tel.Reg.RegisterCounters(p+".back.ba", w.Back.StatsPtrBtoA())
+	w.Gen.attachTelemetry(p + ".gen")
+	w.Srv.attachTelemetry(p + ".srv")
+	w.Tgt.attachTelemetry(p + ".tgt")
+}
+
+// FlushTelemetry closes out per-engine accounting across all three hosts.
+func (w *StorageWorld) FlushTelemetry() {
+	if tel == nil {
+		return
+	}
+	w.Gen.NIC.FlushTelemetry()
+	w.Srv.NIC.FlushTelemetry()
+	w.Tgt.NIC.FlushTelemetry()
+}
+
+// latencyHistogram returns the shared histogram by name, or nil when
+// telemetry is disabled (Record on a nil histogram is a no-op).
+func latencyHistogram(name string) *telemetry.Histogram {
+	if tel == nil {
+		return nil
+	}
+	return tel.Reg.Histogram(name)
+}

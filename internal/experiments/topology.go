@@ -62,6 +62,7 @@ func NewPairWorld(link netsim.LinkConfig, nicCfg nic.Config) *PairWorld {
 	w.Srv = NewMachine(w.Sim, &w.Model, 2, w.Link.SendBtoA, nicCfg)
 	w.Link.AttachA(w.Gen.NIC)
 	w.Link.AttachB(w.Srv.NIC)
+	w.attachTelemetry("pair")
 	return w
 }
 
@@ -80,6 +81,8 @@ type StorageWorld struct {
 	Host   *nvmetcp.Host
 	Ctrl   *nvmetcp.Controller
 	SrvTLS *ktls.Conn // server-side TLS conn of the storage link, if any
+
+	telPrefix string // trace/metrics prefix when telemetry is enabled
 }
 
 // StorageOpts configures the storage path.
@@ -132,6 +135,9 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	w.Front.AttachB(w.Srv.NIC)
 	w.Back.AttachA(w.Srv.NIC)
 	w.Back.AttachB(w.Tgt.NIC)
+	// Attach before establishment: offload engines pick up their tracer
+	// when AttachRx/AttachTx run during connection setup below.
+	w.attachTelemetry("storage")
 
 	w.Dev = blockdev.New(w.Sim, blockdev.Config{Latency: 80 * time.Microsecond, GBps: 2.67})
 
@@ -195,6 +201,9 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	w.Sim.RunFor(10 * time.Millisecond)
 	if w.Host == nil || w.Ctrl == nil {
 		panic("experiments: storage connection failed to establish")
+	}
+	if tel != nil {
+		w.Host.EnableTelemetry(tel.Trace, tel.Reg, w.telPrefix+".srv.nvme")
 	}
 	return w
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTraceRun performs the fixed-seed scenario behind the golden trace:
+// one offloaded iperf stream over a lossy link, small enough that the
+// whole timeline fits the ring. Everything in it is seeded, so two runs
+// must produce byte-identical trace JSON.
+func goldenTraceRun() *telemetry.System {
+	sys := telemetry.NewSystem(1 << 14)
+	UseTelemetry(sys)
+	defer UseTelemetry(nil)
+	w := NewPairWorld(netsim.LinkConfig{
+		Gbps:    1,
+		Latency: 5 * time.Microsecond,
+		AtoB:    netsim.FaultConfig{LossProb: 0.03},
+	}, nic.Config{})
+	RunIperf(w, IperfTLSOffload, 1, 16<<10, 4<<10, 500*time.Microsecond)
+	return sys
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	var first, second bytes.Buffer
+	if err := goldenTraceRun().Trace.WriteChrome(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenTraceRun().Trace.WriteChrome(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("two identically-seeded runs produced different trace JSON")
+	}
+
+	// The recovery story must be on the timeline: offload FSM transitions,
+	// the resync round trip, and the packet/DMA events they interleave with.
+	got := first.String()
+	for _, want := range []string{
+		`"name":"pkt.tx"`,
+		`"name":"pkt.rx"`,
+		`"name":"pkt.drop.loss"`,
+		`"name":"dma.rx"`,
+		`"name":"tcp.retransmit"`,
+		`"name":"rx.searching"`,
+		`"name":"rx.tracking"`,
+		`"name":"rx.offloading"`,
+		`"name":"resync.req"`,
+		`"name":"resync.confirm"`,
+		`"name":"tls.rec.offloaded"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, first.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(first.Bytes(), want) {
+		t.Errorf("trace differs from %s (run with -update after intended changes)", golden)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/kvsim"
 	"repro/internal/offload"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -134,11 +135,7 @@ func RunIperf(w *PairWorld, mode IperfMode, streams, msgSize, recordSize int, du
 	res.Bytes = 0
 	var tlsBase ktls.Stats
 	for _, c := range rcvConns {
-		tlsBase.RecordsRx += c.Stats.RecordsRx
-		tlsBase.RxFullyOffloaded += c.Stats.RxFullyOffloaded
-		tlsBase.RxPartial += c.Stats.RxPartial
-		tlsBase.RxUnoffloaded += c.Stats.RxUnoffloaded
-		tlsBase.ReencryptBytes += c.Stats.ReencryptBytes
+		telemetry.Sum(&tlsBase, c.Stats)
 	}
 	sndBefore := w.Gen.Ledger.Clone()
 	rcvBefore := w.Srv.Ledger.Clone()
@@ -148,44 +145,20 @@ func RunIperf(w *PairWorld, mode IperfMode, streams, msgSize, recordSize int, du
 	res.Snd = cycles.Diff(w.Gen.Ledger, sndBefore)
 	res.Rcv = cycles.Diff(w.Srv.Ledger, rcvBefore)
 	for _, c := range rcvConns {
-		st := c.Stats
-		res.TLS.RecordsRx += st.RecordsRx
-		res.TLS.RxFullyOffloaded += st.RxFullyOffloaded
-		res.TLS.RxPartial += st.RxPartial
-		res.TLS.RxUnoffloaded += st.RxUnoffloaded
-		res.TLS.ReencryptBytes += st.ReencryptBytes
+		telemetry.Sum(&res.TLS, c.Stats)
 		if e := c.RxEngine(); e != nil {
-			addRxStats(&res.RxEngine, e.Stats)
+			telemetry.Sum(&res.RxEngine, e.Stats)
 		}
 	}
-	res.TLS.RecordsRx -= tlsBase.RecordsRx
-	res.TLS.RxFullyOffloaded -= tlsBase.RxFullyOffloaded
-	res.TLS.RxPartial -= tlsBase.RxPartial
-	res.TLS.RxUnoffloaded -= tlsBase.RxUnoffloaded
-	res.TLS.ReencryptBytes -= tlsBase.ReencryptBytes
+	telemetry.Sub(&res.TLS, tlsBase)
 	res.Records = res.TLS.RecordsRx
 	for _, c := range sndConns {
 		if e := c.TxEngine(); e != nil {
-			res.TxEngine.Recoveries += e.Stats.Recoveries
-			res.TxEngine.RecoveryDMABytes += e.Stats.RecoveryDMABytes
-			res.TxEngine.PktsProcessed += e.Stats.PktsProcessed
+			telemetry.Sum(&res.TxEngine, e.Stats)
 		}
 	}
+	w.FlushTelemetry()
 	return res
-}
-
-func addRxStats(dst *offload.RxStats, s offload.RxStats) {
-	dst.PktsOffloaded += s.PktsOffloaded
-	dst.PktsBypassed += s.PktsBypassed
-	dst.PktsUnoffloaded += s.PktsUnoffloaded
-	dst.MsgsCompleted += s.MsgsCompleted
-	dst.MsgsFailed += s.MsgsFailed
-	dst.MsgsBlind += s.MsgsBlind
-	dst.Relocks += s.Relocks
-	dst.ResyncRequests += s.ResyncRequests
-	dst.ResyncConfirms += s.ResyncConfirms
-	dst.ResyncRejects += s.ResyncRejects
-	dst.TrackingAborts += s.TrackingAborts
 }
 
 // FioResult is the outcome of one fio-style run.
@@ -205,18 +178,21 @@ func RunFio(w *StorageWorld, reqSize, depth int, dur time.Duration) *FioResult {
 	rng := rand.New(rand.NewSource(7))
 	const region = 1 << 22 // LBAs to spread random reads over
 
+	lat := latencyHistogram("fio.request_latency_ns")
 	var issue func()
 	issue = func() {
 		lba := uint64(rng.Intn(region)) * uint64(blocks)
 		buf := make([]byte, blocks*blockdev.BlockSize)
 		w.Srv.Ledger.Charge(cycles.HostApp, cycles.AppWork, w.Model.AppPerRequest, 0)
 		w.Srv.Ledger.Charge(cycles.HostApp, cycles.Syscall, w.Model.SyscallCost, 0)
+		issued := w.Sim.Now()
 		w.Host.ReadBlocks(lba, blocks, buf, func(err error) {
 			if err != nil {
 				panic(err)
 			}
 			// Interrupt + completion + context switch back into fio.
 			w.Srv.Ledger.Charge(cycles.HostApp, cycles.AppWork, w.Model.FioPerIO, 0)
+			lat.Record(int64(w.Sim.Now() - issued))
 			res.Requests++
 			res.Bytes += uint64(blocks * blockdev.BlockSize)
 			issue()
@@ -232,6 +208,7 @@ func RunFio(w *StorageWorld, reqSize, depth int, dur time.Duration) *FioResult {
 	w.Sim.RunFor(dur)
 	res.Elapsed = w.Sim.Now() - start
 	res.Ledger = cycles.Diff(w.Srv.Ledger, before)
+	w.FlushTelemetry()
 	return res
 }
 
@@ -253,7 +230,9 @@ func RunHTTPC2(w *PairWorld, mode httpsim.Mode, conns, fileSize int, dur time.Du
 		Store:  httpsim.PageCacheStore{},
 		Dev:    w.Srv.NIC,
 	})
-	return driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+	res := driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+	w.FlushTelemetry()
+	return res
 }
 
 // RunHTTPC1 drives the cold-cache configuration on a storage world (the
@@ -266,7 +245,9 @@ func RunHTTPC1(w *StorageWorld, mode httpsim.Mode, conns, fileSize int, dur time
 		Store:  &httpsim.NVMeStore{Host: w.Host},
 		Dev:    w.Srv.NIC,
 	})
-	return driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+	res := driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
+	w.FlushTelemetry()
+	return res
 }
 
 func driveHTTP(sim interface {
@@ -285,6 +266,7 @@ func driveHTTP(sim interface {
 		Connections: conns,
 		FileSize:    fileSize,
 		Files:       8,
+		Latency:     latencyHistogram("http.request_latency_ns"),
 	})
 	sim.RunFor(3 * time.Millisecond)
 	base := cl.Stats
@@ -311,6 +293,7 @@ func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult
 		Connections: conns,
 		Keys:        16,
 		ValueSize:   valueSize,
+		Latency:     latencyHistogram("kv.request_latency_ns"),
 	})
 	w.Sim.RunFor(3 * time.Millisecond)
 	base := cl.Stats
@@ -326,6 +309,7 @@ func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult
 	if n := cl.Stats.Responses - base.Responses; n > 0 {
 		res.AvgRTT = (cl.Stats.TotalRTT - base.TotalRTT) / time.Duration(n)
 	}
+	w.FlushTelemetry()
 	return res
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/nvmetcp"
 	"repro/internal/stream"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -297,6 +298,9 @@ type ClientConfig struct {
 	Files int
 	// Verify checks response payloads against the expected file content.
 	Verify bool
+	// Latency, when non-nil, receives each request's round trip in
+	// nanoseconds (telemetry histogram; Record is nil-safe).
+	Latency *telemetry.Histogram
 }
 
 // ClientStats aggregates load-generator results.
@@ -425,6 +429,7 @@ func (c *clientConn) finish() {
 	cli.Stats.Bytes += uint64(c.expect)
 	rtt := cli.stack.Sim().Now() - c.issuedAt
 	cli.Stats.TotalRTT += rtt
+	cli.cfg.Latency.Record(int64(rtt))
 	if rtt > cli.Stats.MaxRTT {
 		cli.Stats.MaxRTT = rtt
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/offload"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -77,6 +78,9 @@ type Conn struct {
 	cfg    Config
 	model  *cycles.Model
 	ledger *cycles.Ledger
+
+	tr       *telemetry.Tracer // inherited from the socket's stack
+	traceTid string
 
 	txCipher *gcm.Cipher
 	rxCipher *gcm.Cipher
@@ -157,6 +161,8 @@ func NewConn(sock *tcpip.Socket, cfg Config) (*Conn, error) {
 		ledger:   stackLedger(sock),
 		txCipher: txC,
 		rxCipher: rxC,
+		tr:       sock.StackTracer(),
+		traceTid: sock.StackTraceTid() + ".tls",
 	}
 	sock.OnReadable = c.onReadable
 	sock.OnDrain = func(*tcpip.Socket) {
@@ -513,16 +519,19 @@ func (c *Conn) handleRecord(chunks []tcpip.Chunk, layout offload.MsgLayout) {
 	case allFlags.Has(fullRxFlags):
 		// Fully offloaded: body is already plaintext and authenticated.
 		c.Stats.RxFullyOffloaded++
+		c.tr.Instant1("l5p", "tls.rec.offloaded", c.traceTid, "rec", int64(c.rxSeq))
 		c.emitBody(chunks, bodyLen, nil)
 	case !anyDecrypted:
 		// Fully un-offloaded: classic software decrypt.
 		c.Stats.RxUnoffloaded++
+		c.tr.Instant1("l5p", "tls.rec.unoffloaded", c.traceTid, "rec", int64(c.rxSeq))
 		c.softwareDecrypt(chunks, layout, bodyLen, recStart)
 	default:
 		// Partially offloaded: authenticate by re-encrypting the ranges
 		// the NIC decrypted while decrypting the rest — costlier than full
 		// decryption (§5.2).
 		c.Stats.RxPartial++
+		c.tr.Instant1("l5p", "tls.rec.partial", c.traceTid, "rec", int64(c.rxSeq))
 		c.partialFallback(chunks, layout, bodyLen, recStart)
 	}
 	c.rxSeq++
@@ -580,6 +589,7 @@ func (c *Conn) softwareDecrypt(chunks []tcpip.Chunk, layout offload.MsgLayout, b
 // connection dies — TLS cannot resynchronize past a bad record.
 func (c *Conn) authFailed(err error) {
 	c.Stats.AuthFailures++
+	c.tr.Instant1("l5p", "tls.authfail", c.traceTid, "rec", int64(c.rxSeq))
 	if c.rxEngine != nil {
 		c.rxEngine.NoteAuthFailure()
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/nvmetcp"
 	"repro/internal/stream"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -180,6 +181,9 @@ type ClientConfig struct {
 	Keys        int
 	ValueSize   int
 	Verify      bool
+	// Latency, when non-nil, receives each GET's round trip in
+	// nanoseconds (telemetry histogram; Record is nil-safe).
+	Latency *telemetry.Histogram
 }
 
 // Client is the memtier analogue: persistent connections issuing GETs
@@ -271,7 +275,9 @@ func (c *clientConn) finish(val []byte) {
 	cli := c.cli
 	cli.Stats.Responses++
 	cli.Stats.Bytes += uint64(len(val))
-	cli.Stats.TotalRTT += cli.stack.Sim().Now() - c.issuedAt
+	rtt := cli.stack.Sim().Now() - c.issuedAt
+	cli.Stats.TotalRTT += rtt
+	cli.cfg.Latency.Record(int64(rtt))
 	if cli.cfg.Verify {
 		want := make([]byte, len(val))
 		ValueContent(c.key, want)

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Simulator owns the virtual clock and the pending event queue.
@@ -258,10 +260,12 @@ func (f EndpointFunc) DeliverFrame(frame []byte) { f(frame) }
 
 // Link is a duplex point-to-point link between endpoints A and B.
 type Link struct {
-	sim  *Simulator
-	cfg  LinkConfig
-	a, b Endpoint
-	dirs [2]direction
+	sim    *Simulator
+	cfg    LinkConfig
+	a, b   Endpoint
+	dirs   [2]direction
+	tracer *telemetry.Tracer
+	tids   [2]string // per-direction track labels, precomputed at attach
 }
 
 type direction struct {
@@ -318,6 +322,22 @@ func (l *Link) StatsAtoB() DirStats { return l.dirs[0].stats }
 // StatsBtoA returns counters for the B→A direction.
 func (l *Link) StatsBtoA() DirStats { return l.dirs[1].stats }
 
+// StatsPtrAtoB returns the live A→B counters for telemetry registration.
+func (l *Link) StatsPtrAtoB() *DirStats { return &l.dirs[0].stats }
+
+// StatsPtrBtoA returns the live B→A counters for telemetry registration.
+func (l *Link) StatsPtrBtoA() *DirStats { return &l.dirs[1].stats }
+
+// EnableTrace starts emitting per-frame trace events (pkt.tx, pkt.rx, and
+// drop reasons) on the tracer's timeline. The name labels this link's two
+// direction tracks ("name.a>b", "name.b>a"); labels are built here, once,
+// so the per-frame path never formats strings.
+func (l *Link) EnableTrace(tr *telemetry.Tracer, name string) {
+	l.tracer = tr
+	l.tids[0] = name + ".a>b"
+	l.tids[1] = name + ".b>a"
+}
+
 func (l *Link) send(dir int, frame []byte) {
 	d := &l.dirs[dir]
 	fc := l.cfg.AtoB
@@ -330,6 +350,7 @@ func (l *Link) send(dir int, frame []byte) {
 		panic(fmt.Sprintf("netsim: link direction %d has no endpoint", dir))
 	}
 	d.stats.Sent++
+	l.tracer.Instant1("net", "pkt.tx", l.tids[dir], "bytes", int64(len(frame)))
 
 	// Serialization: the frame occupies the transmitter for its wire time.
 	now := l.sim.Now()
@@ -350,6 +371,7 @@ func (l *Link) send(dir int, frame []byte) {
 		if now >= w.Start && now < w.End {
 			d.stats.BlackoutDrops++
 			d.stats.Dropped++
+			l.tracer.Instant("net", "pkt.drop.blackout", l.tids[dir])
 			return
 		}
 	}
@@ -370,11 +392,13 @@ func (l *Link) send(dir int, frame []byte) {
 		if p > 0 && d.rng.Float64() < p {
 			d.stats.BurstDropped++
 			d.stats.Dropped++
+			l.tracer.Instant("net", "pkt.drop.burst", l.tids[dir])
 			return
 		}
 	}
 	if fc.LossProb > 0 && d.rng.Float64() < fc.LossProb {
 		d.stats.Dropped++
+		l.tracer.Instant("net", "pkt.drop.loss", l.tids[dir])
 		return
 	}
 	if fc.ReorderProb > 0 && d.rng.Float64() < fc.ReorderProb {
@@ -398,12 +422,14 @@ func (l *Link) send(dir int, frame []byte) {
 		}
 		if changed {
 			d.stats.Corrupted++
+			l.tracer.Instant("net", "pkt.corrupt", l.tids[dir])
 			frame = dam
 		}
 	}
 	deliver := func() {
 		d.stats.Delivered++
 		d.stats.Bytes += uint64(len(frame))
+		l.tracer.Instant1("net", "pkt.rx", l.tids[dir], "bytes", int64(len(frame)))
 		dst.DeliverFrame(frame)
 	}
 	l.sim.At(arrive, deliver)

@@ -93,16 +93,17 @@ func (n *NIC) installEngineChaos(e *offload.RxEngine) {
 	})
 }
 
-// rxSeen snapshots the per-engine degradation counters already folded into
-// nic.Stats, so repeated harvests only add deltas.
+// rxSeen snapshots the per-engine counters already folded into nic.Stats,
+// so repeated harvests only add deltas.
 type rxSeen struct {
 	fallbacks, corruptionDrops uint64
+	searches, tracks, resumes  uint64
 }
 
-// harvestRx folds an engine's degradation counters into the device stats.
-// Called after each Process and at detach, it catches increments that
-// happen between packets too (e.g. a fallback tripped by a resync
-// response).
+// harvestRx folds an engine's degradation and FSM-transition counters into
+// the device stats. Called after each Process and at detach, it catches
+// increments that happen between packets too (e.g. a fallback tripped by a
+// resync response).
 func (n *NIC) harvestRx(e *offload.RxEngine) {
 	seen := n.rxSeen[e]
 	if d := e.Stats.Fallbacks - seen.fallbacks; d > 0 {
@@ -111,5 +112,20 @@ func (n *NIC) harvestRx(e *offload.RxEngine) {
 	if d := e.Stats.CorruptionDrops - seen.corruptionDrops; d > 0 {
 		n.Stats.RxCorruptionDrops += d
 	}
-	n.rxSeen[e] = rxSeen{fallbacks: e.Stats.Fallbacks, corruptionDrops: e.Stats.CorruptionDrops}
+	if d := e.Stats.EnterSearching - seen.searches; d > 0 {
+		n.Stats.RxSearches += d
+	}
+	if d := e.Stats.EnterTracking - seen.tracks; d > 0 {
+		n.Stats.RxTracks += d
+	}
+	if d := e.Stats.Resumes - seen.resumes; d > 0 {
+		n.Stats.RxResumes += d
+	}
+	n.rxSeen[e] = rxSeen{
+		fallbacks:       e.Stats.Fallbacks,
+		corruptionDrops: e.Stats.CorruptionDrops,
+		searches:        e.Stats.EnterSearching,
+		tracks:          e.Stats.EnterTracking,
+		resumes:         e.Stats.Resumes,
+	}
 }

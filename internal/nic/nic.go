@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/offload"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -56,6 +57,13 @@ type Stats struct {
 	CtxInvalidations  uint64 // injected whole-cache context invalidations
 	RxFallbacks       uint64 // flows whose rx engine fell back to software
 	RxCorruptionDrops uint64 // messages rx engines rejected as corrupt
+
+	// Receive-engine FSM transition counters, harvested from every engine
+	// this NIC has run (Fig. 7): how often flows lost sync, how often they
+	// entered candidate tracking, and how often they resumed offloading.
+	RxSearches uint64
+	RxTracks   uint64
+	RxResumes  uint64
 }
 
 // NIC is one host's network device.
@@ -73,6 +81,12 @@ type NIC struct {
 
 	chaos  *chaosState
 	rxSeen map[*offload.RxEngine]rxSeen
+
+	tracer *telemetry.Tracer
+	reg    *telemetry.Registry
+	label  string
+	rxTid  string // precomputed engine track labels
+	txTid  string
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats Stats
@@ -110,10 +124,38 @@ var (
 	_ netsim.Endpoint = (*NIC)(nil)
 )
 
+// SetTelemetry connects this NIC to the run's telemetry: its counters are
+// registered under label, DMA-level events trace onto the label track, and
+// every offload engine attached afterwards is wired in too (engines attach
+// at connection establishment, so call this right after building the
+// host). Either argument may be nil.
+func (n *NIC) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, label string) {
+	n.tracer = tr
+	n.reg = reg
+	n.label = label
+	n.rxTid = label + ".rx"
+	n.txTid = label + ".tx"
+	if reg != nil {
+		reg.RegisterCounters(label, &n.Stats)
+	}
+}
+
+// FlushTelemetry closes out per-engine time-in-state accounting. Call once
+// after traffic stops, before exporting metrics.
+func (n *NIC) FlushTelemetry() {
+	for _, engines := range n.rx {
+		for _, e := range engines {
+			n.harvestRx(e)
+			e.FlushTelemetry()
+		}
+	}
+}
+
 // AttachTx installs a transmit offload engine for a flow (local→remote),
 // in L5P layering order: for NVMe-TCP over TLS, the NVMe engine runs
 // before the TLS engine on transmit (§5.3).
 func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
+	e.EnableTelemetry(n.tracer, n.txTid)
 	n.tx[flow] = append(n.tx[flow], e)
 }
 
@@ -122,6 +164,7 @@ func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
 // inner engines are fed by the outer Ops' emission hook.
 func (n *NIC) AttachRx(flow wire.FlowID, e *offload.RxEngine) {
 	n.installEngineChaos(e)
+	e.EnableTelemetry(n.tracer, n.reg, n.rxTid)
 	n.rx[flow] = append(n.rx[flow], e)
 }
 
@@ -134,6 +177,7 @@ func (n *NIC) DetachTx(flow wire.FlowID) {
 // DetachRx removes all receive engines for the flow.
 func (n *NIC) DetachRx(flow wire.FlowID) {
 	for _, e := range n.rx[flow] {
+		e.FlushTelemetry()
 		n.harvestRx(e)
 		delete(n.rxSeen, e)
 	}
@@ -172,6 +216,7 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 	n.Stats.TxBytes += uint64(len(frame))
 	// Packet payload and descriptor cross PCIe by DMA.
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
+	n.tracer.Instant2("dma", "dma.tx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
 	n.send(frame)
 }
 
@@ -196,6 +241,7 @@ func (n *NIC) DeliverFrame(frame []byte) {
 	n.Stats.RxBytes += uint64(len(frame))
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+	n.tracer.Instant2("dma", "dma.rx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
 
 	var flags meta.RxFlags
 	if engines := n.rx[pkt.Flow]; len(engines) > 0 && len(pkt.Payload) > 0 {
@@ -227,6 +273,7 @@ func (n *NIC) cacheTouch(k cacheKey) {
 		return
 	}
 	n.Stats.CtxCacheMiss++
+	n.tracer.Instant1("dma", "ctx.miss", n.label, "bytes", int64(n.cfg.CtxBytes))
 	n.cfg.Ledger.Charge(cycles.PCIe, cycles.CtxDMA, 0, n.cfg.CtxBytes)
 	n.cacheMap[k] = n.cacheList.PushFront(k)
 	for n.cacheList.Len() > n.cfg.CtxCacheFlows {

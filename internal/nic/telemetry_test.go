@@ -1,0 +1,93 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/offload"
+	"repro/internal/tcpip"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// TestFSMCountersHarvested checks that engine FSM-transition counters fold
+// into the device stats (at detach, like the degradation counters do).
+func TestFSMCountersHarvested(t *testing.T) {
+	sim, a, b, _, nb := world(t, Config{})
+	ops := &passOps{}
+	var flow wire.FlowID
+	var eng *offload.RxEngine
+	b.Listen(80, func(s *tcpip.Socket) {
+		flow = s.Flow().Reverse()
+		eng = offload.NewRxEngine(ops, s.ReadSeq(), nil)
+		nb.AttachRx(flow, eng)
+		s.OnReadable = func(s *tcpip.Socket) {
+			for {
+				if _, ok := s.ReadChunk(); !ok {
+					break
+				}
+			}
+		}
+	})
+	a.Connect(wire.Addr{IP: b.IP(), Port: 80}, func(s *tcpip.Socket) {
+		s.Write(msg(make([]byte, 10)))
+	})
+	sim.RunUntil(100 * time.Millisecond)
+	if eng == nil {
+		t.Fatal("engine never attached")
+	}
+
+	// Trip a fallback between packets (e.g. software's integrity check),
+	// then detach: the harvest must pick the transition up.
+	eng.SetFallbackPolicy(offload.DefaultFallbackPolicy())
+	eng.NoteAuthFailure()
+	nb.DetachRx(flow)
+
+	if nb.Stats.RxFallbacks != 1 {
+		t.Errorf("RxFallbacks=%d, want 1", nb.Stats.RxFallbacks)
+	}
+}
+
+// TestNICTraceEvents checks that an instrumented NIC emits DMA events and
+// forwards its tracer/registry to attached engines.
+func TestNICTraceEvents(t *testing.T) {
+	sim, a, b, _, nb := world(t, Config{})
+	var now = func() time.Duration { return sim.Now() }
+	tr := telemetry.NewTracer(1 << 12)
+	tr.AttachClock(now, "nic-test")
+	reg := telemetry.NewRegistry()
+	nb.SetTelemetry(tr, reg, "srv.nic")
+
+	ops := &passOps{}
+	var flags []meta.RxFlags
+	b.Listen(80, func(s *tcpip.Socket) {
+		nb.AttachRx(s.Flow().Reverse(), offload.NewRxEngine(ops, s.ReadSeq(), nil))
+		s.OnReadable = func(s *tcpip.Socket) {
+			for {
+				c, ok := s.ReadChunk()
+				if !ok {
+					break
+				}
+				flags = append(flags, c.Flags)
+			}
+		}
+	})
+	a.Connect(wire.Addr{IP: b.IP(), Port: 80}, func(s *tcpip.Socket) {
+		s.Write(msg(make([]byte, 100)))
+	})
+	sim.RunUntil(time.Second)
+
+	seen := map[string]int{}
+	for _, ev := range tr.Events() {
+		seen[ev.Name]++
+	}
+	if seen["dma.rx"] == 0 || seen["dma.tx"] == 0 {
+		t.Errorf("missing DMA events: %v", seen)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Get("srv.nic.RxPackets") == 0 {
+		t.Errorf("registered NIC counters missing from snapshot: %+v", snap.Counters)
+	}
+}

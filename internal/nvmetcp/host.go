@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/crc32c"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/stream"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -45,6 +47,7 @@ type request struct {
 	buf       []byte
 	remaining int
 	isWrite   bool
+	issuedAt  time.Duration // virtual issue time (valid when telemetry on)
 	done      func(error)
 }
 
@@ -87,6 +90,10 @@ type Host struct {
 	// corruption). All in-flight requests complete with the error first.
 	OnError func(error)
 
+	trace    *telemetry.Tracer
+	traceTid string
+	latHist  *telemetry.Histogram
+
 	// Stats is exported for experiments; treat as read-only.
 	Stats HostStats
 }
@@ -102,6 +109,17 @@ func NewHost(tr stream.Stream) *Host {
 	tr.SetOnData(h.onData)
 	tr.SetOnDrain(func() { h.pump() })
 	return h
+}
+
+// EnableTelemetry hooks the initiator into the run's telemetry: each
+// request becomes a span on the tid track and its issue→completion time
+// feeds the "nvme.request_latency_ns" histogram. Either may be nil.
+func (h *Host) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, tid string) {
+	h.trace = tr
+	h.traceTid = tid
+	if reg != nil {
+		h.latHist = reg.Histogram("nvme.request_latency_ns")
+	}
 }
 
 // EnableRxOffload installs the receive copy+CRC offload directly on the
@@ -179,7 +197,8 @@ func (h *Host) ReadBlocks(lba uint64, count int, buf []byte, done func(error)) {
 	}
 	h.Stats.Reads++
 	cid := h.allocCID()
-	h.pending[cid] = &request{buf: buf, remaining: count * blockdev.BlockSize, done: done}
+	h.pending[cid] = &request{buf: buf, remaining: count * blockdev.BlockSize,
+		issuedAt: h.trace.Now(), done: done}
 	if h.rr != nil {
 		// l5o_add_rr_state: must reach the NIC before the request (§4.1).
 		h.rr.Add(cid, buf)
@@ -197,7 +216,7 @@ func (h *Host) ReadBlocks(lba uint64, count int, buf []byte, done func(error)) {
 func (h *Host) WriteBlocks(lba uint64, data []byte, done func(error)) {
 	h.Stats.Writes++
 	cid := h.allocCID()
-	h.pending[cid] = &request{isWrite: true, done: done}
+	h.pending[cid] = &request{isWrite: true, issuedAt: h.trace.Now(), done: done}
 	hdr := &Header{Type: TypeCmd, CID: cid, Op: OpWrite, Offset: lba, DataLen: len(data)}
 	pdu := Build(hdr, data, h.txOffloaded)
 	if h.txOffloaded {
@@ -380,6 +399,14 @@ func (h *Host) complete(cid uint16, req *request, err error) {
 	if h.rr != nil && !req.isWrite {
 		h.rr.Del(cid)
 		h.ledger.Charge(cycles.HostDriver, cycles.Driver, h.model.DriverPerOffloadDescr, 0)
+	}
+	if h.trace.Enabled() && err == nil {
+		h.latHist.Record(int64(h.trace.Now() - req.issuedAt))
+		name := "nvme.read"
+		if req.isWrite {
+			name = "nvme.write"
+		}
+		h.trace.Span("l5p", name, h.traceTid, req.issuedAt, "cid", int64(cid))
 	}
 	if req.done != nil {
 		req.done(err)

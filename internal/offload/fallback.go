@@ -67,8 +67,7 @@ func (e *RxEngine) enterFallback() {
 	e.awaitingResp = false
 	e.confirmed = false
 	e.pendingFallback = false
-	e.state = rxFallback
-	e.Stats.Fallbacks++
+	e.setState(rxFallback) // bumps Stats.Fallbacks
 }
 
 // noteRecoveryFailure records one failed recovery attempt and reports
@@ -109,6 +108,7 @@ func (e *RxEngine) sendResyncReq(cand uint32) {
 		e.Stats.ResyncDropped++
 		return
 	}
+	e.noteResyncSent(cand)
 	if e.resyncReq != nil {
 		e.resyncReq(cand)
 	}

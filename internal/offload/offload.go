@@ -110,6 +110,9 @@ type RxStats struct {
 	Fallbacks       uint64 // permanent falls back to software (0 or 1)
 	ResyncDropped   uint64 // chaos: resync requests lost inside the NIC
 	ForcedRejects   uint64 // chaos: confirmations treated as rejections
+	EnterSearching  uint64 // transitions into the searching state
+	EnterTracking   uint64 // transitions into the tracking state
+	Resumes         uint64 // transitions back to offloading after recovery
 }
 
 type rxState int
@@ -121,16 +124,15 @@ const (
 	rxFallback // permanent software fallback (degradation policy tripped)
 )
 
+// rxStateNames names every FSM state, indexed by rxState. Keeping the
+// names in one table (alongside rxStateTraceName and rxStateHistName in
+// telemetry.go) guarantees State(), traces, and histograms agree on what
+// each state — fallback included — is called.
+var rxStateNames = [...]string{"offloading", "searching", "tracking", "fallback"}
+
 func (s rxState) String() string {
-	switch s {
-	case rxOffloading:
-		return "offloading"
-	case rxSearching:
-		return "searching"
-	case rxTracking:
-		return "tracking"
-	case rxFallback:
-		return "fallback"
+	if s >= 0 && int(s) < len(rxStateNames) {
+		return rxStateNames[s]
 	}
 	return fmt.Sprintf("rxState(%d)", int(s))
 }
@@ -190,6 +192,8 @@ type RxEngine struct {
 	recoveryFails   int  // consecutive failed recovery attempts
 	pendingFallback bool // integrity failure seen mid-packet
 	chaos           RxChaos
+
+	telemetryState
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats RxStats
@@ -485,7 +489,7 @@ func (e *RxEngine) enterSearching(seq uint32, data []byte) {
 		e.inMsg = false
 	}
 	e.hdrBuf = e.hdrBuf[:0]
-	e.state = rxSearching
+	e.setState(rxSearching)
 	e.tailValid = false
 	e.awaitingResp = false
 	e.confirmed = false
@@ -513,7 +517,7 @@ func (e *RxEngine) search(seq uint32, data []byte) {
 		// Candidate found: ask software to confirm (l5o_resync_rx_req) and
 		// start tracking from here.
 		cand := baseSeq + uint32(i)
-		e.state = rxTracking
+		e.setState(rxTracking)
 		e.candidateSeq = cand
 		e.awaitingResp = true
 		e.confirmed = false
@@ -552,7 +556,7 @@ func (e *RxEngine) track(seq uint32, data []byte) {
 			if e.noteRecoveryFailure() {
 				return
 			}
-			e.state = rxSearching
+			e.setState(rxSearching)
 			e.tailValid = false
 			e.awaitingResp = false
 			e.search(seq, data)
@@ -603,7 +607,7 @@ func (e *RxEngine) trackFrom(seq uint32, data []byte, newExpected uint32) {
 			if e.noteRecoveryFailure() {
 				return
 			}
-			e.state = rxSearching
+			e.setState(rxSearching)
 			e.tailValid = false
 			e.awaitingResp = false
 			if len(data) > 0 {
@@ -628,7 +632,7 @@ func (e *RxEngine) tryResumeAfterConfirm() {
 		return
 	}
 	e.ops.NoteDiscontinuity()
-	e.state = rxOffloading
+	e.setState(rxOffloading)
 	e.expected = e.trackExpected
 	e.inMsg = false
 	e.msgOff = 0
@@ -662,14 +666,16 @@ func (e *RxEngine) ResyncResponse(seq uint32, ok bool, msgIndex uint64) {
 	}
 	if !ok {
 		e.Stats.ResyncRejects++
+		e.noteResyncAnswer(seq, false)
 		if e.noteRecoveryFailure() {
 			return
 		}
-		e.state = rxSearching
+		e.setState(rxSearching)
 		e.tailValid = false
 		return
 	}
 	e.Stats.ResyncConfirms++
+	e.noteResyncAnswer(seq, true)
 	e.confirmed = true
 	e.confirmedIdx = msgIndex
 	if e.sparse {

@@ -33,7 +33,7 @@ func (e *RxEngine) processSparse(seq uint32, data []byte, contiguous bool) meta.
 			e.inMsg = false
 		}
 		e.hdrBuf = e.hdrBuf[:0]
-		e.state = rxSearching
+		e.setState(rxSearching)
 		e.tailValid = false
 		e.awaitingResp = false
 		e.confirmed = false
@@ -51,7 +51,7 @@ func (e *RxEngine) processSparse(seq uint32, data []byte, contiguous bool) meta.
 			if e.noteRecoveryFailure() {
 				return e.ops.PacketVerdict(false, true)
 			}
-			e.state = rxSearching
+			e.setState(rxSearching)
 			e.tailValid = false
 			e.awaitingResp = false
 			e.confirmed = false
@@ -89,7 +89,7 @@ func (e *RxEngine) searchSparse(seq uint32, data []byte, contiguous bool) {
 			continue
 		}
 		cand := wireSeqAt(i)
-		e.state = rxTracking
+		e.setState(rxTracking)
 		e.candidateSeq = cand
 		e.awaitingResp = true
 		e.confirmed = false
@@ -149,7 +149,7 @@ func (e *RxEngine) trackConsumeSparse(seq uint32, data []byte) {
 				if e.noteRecoveryFailure() {
 					return
 				}
-				e.state = rxSearching
+				e.setState(rxSearching)
 				e.tailValid = false
 				e.awaitingResp = false
 				e.confirmed = false
@@ -181,7 +181,7 @@ func (e *RxEngine) tryResumeSparse() {
 		return
 	}
 	e.ops.NoteDiscontinuity()
-	e.state = rxOffloading
+	e.setState(rxOffloading)
 	e.inMsg = false
 	e.msgOff = 0
 	e.hdrBuf = e.hdrBuf[:0]

@@ -64,6 +64,8 @@ type TxEngine struct {
 	msgOff   int
 	msgIndex uint64
 
+	txTelemetryState
+
 	// Stats is exported for experiments; treat as read-only.
 	Stats TxStats
 }
@@ -119,6 +121,8 @@ func (e *TxEngine) recover(seq uint32) bool {
 			if gap, err := e.src.StreamBytes(e.expected, seq); err == nil {
 				e.Stats.Recoveries++
 				e.Stats.RecoveryDMABytes += uint64(len(gap))
+				e.tr.Instant2("dma", "tx.recover.fwd", e.traceTid,
+					"seq", int64(seq), "dma_bytes", int64(len(gap)))
 				e.replay(gap)
 				return true
 			}
@@ -136,6 +140,7 @@ func (e *TxEngine) recover(seq uint32) bool {
 	e.msgIndex = msgIndex
 	e.expected = msgStart
 	if msgStart == seq {
+		e.tr.Instant2("dma", "tx.recover.msg", e.traceTid, "seq", int64(seq), "dma_bytes", 0)
 		return true
 	}
 	prefix, err := e.src.StreamBytes(msgStart, seq)
@@ -143,6 +148,8 @@ func (e *TxEngine) recover(seq uint32) bool {
 		return false
 	}
 	e.Stats.RecoveryDMABytes += uint64(len(prefix))
+	e.tr.Instant2("dma", "tx.recover.msg", e.traceTid,
+		"seq", int64(seq), "dma_bytes", int64(len(prefix)))
 	e.replay(prefix)
 	return true
 }

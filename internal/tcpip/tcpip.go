@@ -21,6 +21,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/meta"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -49,6 +50,9 @@ type Stack struct {
 	socks     map[wire.FlowID]*Socket
 	nextPort  uint16
 	issSeed   uint32
+
+	tracer   *telemetry.Tracer
+	traceTid string
 
 	// Stats counts stack-level events.
 	Stats StackStats
@@ -98,6 +102,21 @@ func (st *Stack) Model() *cycles.Model { return st.model }
 
 // Ledger returns the host's cycle ledger.
 func (st *Stack) Ledger() *cycles.Ledger { return st.ledger }
+
+// SetTracer routes this stack's TCP events (retransmits, timeouts) onto
+// the tracer under the given track label. Layers above the socket API
+// reach the same tracer through Socket.StackTracer.
+func (st *Stack) SetTracer(tr *telemetry.Tracer, tid string) {
+	st.tracer = tr
+	st.traceTid = tid
+}
+
+// Tracer returns the stack's tracer (nil when tracing is disabled; all
+// tracer methods are nil-safe).
+func (st *Stack) Tracer() *telemetry.Tracer { return st.tracer }
+
+// TraceTid returns the track label set by SetTracer.
+func (st *Stack) TraceTid() string { return st.traceTid }
 
 // Listen registers an accept callback for the given local port. The
 // callback fires when a connection reaches the established state.
@@ -307,6 +326,12 @@ func (s *Socket) StackModel() *cycles.Model { return s.stack.model }
 
 // StackLedger returns the owning stack's cycle ledger (for L5P layers).
 func (s *Socket) StackLedger() *cycles.Ledger { return s.stack.ledger }
+
+// StackTracer returns the owning stack's tracer (nil when disabled).
+func (s *Socket) StackTracer() *telemetry.Tracer { return s.stack.tracer }
+
+// StackTraceTid returns the owning stack's trace track label.
+func (s *Socket) StackTraceTid() string { return s.stack.traceTid }
 
 // State returns a printable connection state (for logs and tests).
 func (s *Socket) State() string { return s.state.String() }
@@ -564,6 +589,10 @@ func (s *Socket) transmitRange(seq uint32, n int, isRetransmit bool) {
 		Window:  s.recvWindow(),
 		Payload: payload,
 	}
+	if isRetransmit {
+		s.stack.tracer.Instant2("tcp", "tcp.retransmit", s.stack.traceTid,
+			"seq", int64(seq), "len", int64(n))
+	}
 	if !isRetransmit && !s.rttPending {
 		s.rttPending = true
 		s.rttSeq = seq + uint32(n)
@@ -595,6 +624,7 @@ func (s *Socket) onRTO() {
 		}
 		s.stack.Stats.Timeouts++
 		s.stack.Stats.Retransmits++
+		s.stack.tracer.Instant1("tcp", "tcp.rto", s.stack.traceTid, "seq", int64(s.sndUna))
 		// Collapse to one segment (RFC 5681). A repeated timeout without
 		// progress means a multi-loss window: enter loss recovery up to
 		// sndNxt so that each partial ACK retransmits the next hole

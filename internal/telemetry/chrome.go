@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChrome serializes the recorded events as Chrome trace-event JSON
+// (the "JSON Array Format" chrome://tracing and Perfetto load). Virtual
+// time maps to the trace's microsecond timestamps; each world becomes a
+// process, each track label a named thread.
+//
+// The output is deterministic: events appear in recording order, thread
+// ids are assigned in first-seen order, and all floats use fixed-point
+// formatting — a fixed-seed run serializes byte-identically (golden-
+// tested in internal/experiments).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	events := t.Events()
+
+	// Assign thread ids per (pid, tid-label) in first-seen order.
+	type track struct {
+		pid int32
+		tid string
+	}
+	tids := make(map[track]int)
+	var tracks []track
+	for i := range events {
+		k := track{events[i].Pid, events[i].Tid}
+		if _, ok := tids[k]; !ok {
+			tids[k] = len(tracks) + 1
+			tracks = append(tracks, k)
+		}
+	}
+
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	// Metadata: process names (world labels) and thread names (tracks).
+	for i, world := range t.Worlds() {
+		comma()
+		bw.WriteString("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":")
+		bw.WriteString(strconv.Itoa(i + 1))
+		bw.WriteString(",\"tid\":0,\"args\":{\"name\":")
+		writeJSONString(bw, world)
+		bw.WriteString("}}")
+	}
+	for _, k := range tracks {
+		comma()
+		bw.WriteString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":")
+		bw.WriteString(strconv.Itoa(int(k.pid)))
+		bw.WriteString(",\"tid\":")
+		bw.WriteString(strconv.Itoa(tids[k]))
+		bw.WriteString(",\"args\":{\"name\":")
+		writeJSONString(bw, k.tid)
+		bw.WriteString("}}")
+	}
+
+	for i := range events {
+		ev := &events[i]
+		comma()
+		bw.WriteString("{\"name\":")
+		writeJSONString(bw, ev.Name)
+		bw.WriteString(",\"cat\":")
+		writeJSONString(bw, ev.Cat)
+		bw.WriteString(",\"ph\":\"")
+		bw.WriteByte(ev.Ph)
+		bw.WriteString("\",\"ts\":")
+		writeMicros(bw, int64(ev.TS))
+		if ev.Ph == PhComplete {
+			bw.WriteString(",\"dur\":")
+			writeMicros(bw, int64(ev.Dur))
+		}
+		if ev.Ph == PhInstant {
+			bw.WriteString(",\"s\":\"t\"")
+		}
+		bw.WriteString(",\"pid\":")
+		bw.WriteString(strconv.Itoa(int(ev.Pid)))
+		bw.WriteString(",\"tid\":")
+		bw.WriteString(strconv.Itoa(tids[track{ev.Pid, ev.Tid}]))
+		if ev.A1N != "" {
+			bw.WriteString(",\"args\":{")
+			writeJSONString(bw, ev.A1N)
+			bw.WriteString(":")
+			bw.WriteString(strconv.FormatInt(ev.A1, 10))
+			if ev.A2N != "" {
+				bw.WriteString(",")
+				writeJSONString(bw, ev.A2N)
+				bw.WriteString(":")
+				bw.WriteString(strconv.FormatInt(ev.A2, 10))
+			}
+			bw.WriteString("}")
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeMicros renders ns as microseconds with fixed 3-decimal precision
+// (Chrome's ts unit is µs; fixed formatting keeps output deterministic).
+func writeMicros(w *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	if neg {
+		w.WriteByte('-')
+	}
+	w.WriteString(strconv.FormatInt(ns/1000, 10))
+	w.WriteByte('.')
+	frac := ns % 1000
+	w.WriteByte(byte('0' + frac/100))
+	w.WriteByte(byte('0' + frac/10%10))
+	w.WriteByte(byte('0' + frac%10))
+}
+
+// writeJSONString escapes the minimal set for the controlled label
+// strings the tracer records.
+func writeJSONString(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			w.WriteByte('\\')
+			w.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			w.WriteString("\\u00")
+			w.WriteByte(hex[c>>4])
+			w.WriteByte(hex[c&0xf])
+		default:
+			w.WriteByte(c)
+		}
+	}
+	w.WriteByte('"')
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// Registry collects metric sources: the per-package Stats structs the
+// codebase already exposes (registered by pointer, flattened by reflection
+// at snapshot time — nothing on the hot path) and named histograms.
+// Multiple sources may register under the same metric name; snapshots sum
+// them, which is how per-connection engine stats aggregate for free.
+type Registry struct {
+	counters []counterSource
+	hists    []*Histogram
+	histIdx  map[string]*Histogram
+}
+
+type counterSource struct {
+	prefix string
+	v      reflect.Value // the registered struct (addressable via pointer)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{histIdx: make(map[string]*Histogram)}
+}
+
+// RegisterCounters registers a pointer to a struct whose exported uint64
+// fields (recursively, for nested structs) become counters named
+// "prefix.Field". The struct is read live at snapshot time, so register
+// once and keep mutating the counters as usual.
+func (r *Registry) RegisterCounters(prefix string, stats any) {
+	if r == nil {
+		return
+	}
+	v := reflect.ValueOf(stats)
+	if v.Kind() != reflect.Pointer || v.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("telemetry: RegisterCounters(%q) needs a pointer to struct, got %T", prefix, stats))
+	}
+	r.counters = append(r.counters, counterSource{prefix: prefix, v: v.Elem()})
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use. All callers asking for the same name share one histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histIdx[name]; ok {
+		return h
+	}
+	h := NewHistogram(name)
+	r.histIdx[name] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Counter is one named counter value in a snapshot.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot is a point-in-time flattening of every registered source:
+// counters sorted by name (same-named sources summed) plus histogram
+// summaries in registration order.
+type Snapshot struct {
+	Counters []Counter
+	Hists    []HistSnap
+}
+
+// Snapshot flattens the registry now.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	acc := make(map[string]uint64)
+	var order []string
+	for _, src := range r.counters {
+		flattenCounters(src.prefix, src.v, func(name string, v uint64) {
+			if _, ok := acc[name]; !ok {
+				order = append(order, name)
+			}
+			acc[name] += v
+		})
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		s.Counters = append(s.Counters, Counter{Name: name, Value: acc[name]})
+	}
+	for _, h := range r.hists {
+		s.Hists = append(s.Hists, h.Snap())
+	}
+	return s
+}
+
+// flattenCounters walks exported uint64 fields, recursing into structs.
+func flattenCounters(prefix string, v reflect.Value, emit func(string, uint64)) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fv := v.Field(i)
+		name := prefix + "." + f.Name
+		switch fv.Kind() {
+		case reflect.Uint64:
+			emit(name, fv.Uint())
+		case reflect.Struct:
+			flattenCounters(name, fv, emit)
+		}
+	}
+}
+
+// Get returns a counter's value (0 when absent).
+func (s *Snapshot) Get(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Fprint writes the snapshot as a plain-text metrics dump: one
+// "name value" line per counter, then one summary line per histogram.
+func (s *Snapshot) Fprint(w io.Writer) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, h := range s.Hists {
+		h.Fprint(w)
+	}
+}
+
+// Sum adds src's exported uint64 and int64-kind counter fields into dst,
+// recursing into nested structs. It replaces the hand-rolled per-type
+// stats-merging helpers experiments used to carry (e.g. addRxStats).
+func Sum[T any](dst *T, src T) {
+	mergeStruct(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src), 1)
+}
+
+// Sub subtracts src's counter fields from dst (for windowed deltas
+// against a baseline snapshot of the same struct).
+func Sub[T any](dst *T, src T) {
+	mergeStruct(reflect.ValueOf(dst).Elem(), reflect.ValueOf(src), -1)
+}
+
+func mergeStruct(dst, src reflect.Value, sign int64) {
+	t := dst.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if !t.Field(i).IsExported() {
+			continue
+		}
+		d, s := dst.Field(i), src.Field(i)
+		switch d.Kind() {
+		case reflect.Uint64, reflect.Uint32, reflect.Uint:
+			d.SetUint(uint64(int64(d.Uint()) + sign*int64(s.Uint())))
+		case reflect.Int64, reflect.Int32, reflect.Int:
+			d.SetInt(d.Int() + sign*s.Int())
+		case reflect.Struct:
+			mergeStruct(d, s, sign)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type innerStats struct {
+	Deep uint64
+}
+
+type fakeStats struct {
+	Frames uint64
+	Drops  uint64
+	Nested innerStats
+	skip   uint64 // unexported: must be ignored
+}
+
+func TestRegistrySnapshotFlattensAndSums(t *testing.T) {
+	r := NewRegistry()
+	a := &fakeStats{Frames: 3, Drops: 1, Nested: innerStats{Deep: 7}}
+	b := &fakeStats{Frames: 10}
+	r.RegisterCounters("lnk", a)
+	r.RegisterCounters("lnk", b) // same prefix: values sum
+	r.RegisterCounters("other", &fakeStats{Drops: 2})
+
+	a.Frames++ // registry reads live values at snapshot time
+
+	s := r.Snapshot()
+	if got := s.Get("lnk.Frames"); got != 14 {
+		t.Errorf("lnk.Frames = %d, want 14", got)
+	}
+	if got := s.Get("lnk.Nested.Deep"); got != 7 {
+		t.Errorf("lnk.Nested.Deep = %d, want 7", got)
+	}
+	if got := s.Get("other.Drops"); got != 2 {
+		t.Errorf("other.Drops = %d, want 2", got)
+	}
+	if got := s.Get("lnk.skip"); got != 0 {
+		t.Errorf("unexported field leaked into snapshot: %d", got)
+	}
+	// Sorted by name.
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name > s.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q > %q", s.Counters[i-1].Name, s.Counters[i].Name)
+		}
+	}
+}
+
+func TestRegistryRejectsNonPointer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterCounters accepted a non-pointer")
+		}
+	}()
+	NewRegistry().RegisterCounters("x", fakeStats{})
+}
+
+func TestRegistryHistogramSharing(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat")
+	h2 := r.Histogram("lat")
+	if h1 != h2 {
+		t.Error("same name should return the same histogram")
+	}
+	h1.Record(5)
+	s := r.Snapshot()
+	if len(s.Hists) != 1 || s.Hists[0].Count != 1 {
+		t.Errorf("snapshot hists = %+v", s.Hists)
+	}
+}
+
+func TestSnapshotFprint(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounters("s", &fakeStats{Frames: 2})
+	r.Histogram("lat_ns").Record(100)
+	var sb strings.Builder
+	r.Snapshot().Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "s.Frames 2\n") {
+		t.Errorf("missing counter line in:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_ns count=1") {
+		t.Errorf("missing histogram line in:\n%s", out)
+	}
+}
+
+type mergeStats struct {
+	U      uint64
+	D      time.Duration
+	Nested innerStats
+}
+
+func TestSumSub(t *testing.T) {
+	total := mergeStats{U: 10, D: time.Second, Nested: innerStats{Deep: 5}}
+	base := mergeStats{U: 4, D: time.Millisecond, Nested: innerStats{Deep: 2}}
+
+	Sub(&total, base)
+	if total.U != 6 || total.D != time.Second-time.Millisecond || total.Nested.Deep != 3 {
+		t.Errorf("Sub: %+v", total)
+	}
+	Sum(&total, base)
+	if total.U != 10 || total.D != time.Second || total.Nested.Deep != 5 {
+		t.Errorf("Sum roundtrip: %+v", total)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.RegisterCounters("x", &fakeStats{})
+	if r.Histogram("h") != nil {
+		t.Error("nil registry should hand out nil histograms")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}

@@ -1,0 +1,40 @@
+// Package telemetry is the observability layer the rest of the
+// reproduction plugs into: a metrics registry that snapshots every
+// subsystem's counters in one call, HDR-style histograms for latency and
+// time-in-state distributions, and a tracer keyed off the simulator's
+// virtual clock that records structured events (packet tx/rx, retransmits,
+// RxEngine FSM transitions, resync round trips, DMA completions) into a
+// bounded ring buffer.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when disabled. Every hook is nil-safe — a nil *Tracer
+//     (or one with no clock attached) makes every emit a two-instruction
+//     early return with no allocation, so the per-packet paths cost
+//     nothing in untraced runs. Tests assert this with AllocsPerRun.
+//  2. Deterministic output. The simulation is seeded and single-threaded;
+//     the exporters preserve that by iterating insertion order and sorting
+//     only by stable keys, so a fixed-seed run produces byte-identical
+//     trace JSON and metrics dumps (golden-tested).
+//  3. No per-event allocation when enabled. Events are fixed-size values
+//     written into a preallocated ring; labels are strings precomputed at
+//     attach time, never built per packet.
+//
+// The package sits at the bottom of the dependency graph (it imports only
+// the standard library), so netsim, tcpip, offload, nic, and the L5P
+// layers can all hook into it without cycles.
+package telemetry
+
+// System bundles the registry and tracer a run shares. Experiments attach
+// one System and every world built afterwards wires its links, stacks,
+// NICs, and offload engines into it.
+type System struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// NewSystem builds a registry plus a tracer with the given ring capacity
+// (<=0 selects the default).
+func NewSystem(traceCap int) *System {
+	return &System{Reg: NewRegistry(), Trace: NewTracer(traceCap)}
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import "time"
+
+// Event phases, mirroring the Chrome trace-event "ph" field.
+const (
+	PhInstant  = byte('i') // point event
+	PhComplete = byte('X') // span with explicit duration
+)
+
+// Event is one recorded trace event. Fixed size, no pointers beyond the
+// label strings (which instrumented code precomputes at attach time), so
+// recording is a struct copy into the ring — no allocation.
+type Event struct {
+	TS   time.Duration // virtual time
+	Dur  time.Duration // span length for PhComplete events
+	Pid  int32         // world id (one simulator clock per world)
+	Ph   byte
+	Cat  string // coarse grouping, e.g. "net", "fsm", "resync"
+	Name string
+	Tid  string // track label, e.g. "srv.nic" or a flow string
+	A1N  string // first argument name ("" = none)
+	A1   int64
+	A2N  string // second argument name ("" = none)
+	A2   int64
+}
+
+// Tracer records events against a virtual clock into a bounded ring
+// buffer: when full, the oldest events are overwritten (and counted), so
+// a trace holds the most recent window of a run. The zero ring slot trick
+// keeps recording allocation-free.
+//
+// All methods are nil-safe; a nil *Tracer (or one without a clock) is the
+// disabled state and every emit returns immediately.
+type Tracer struct {
+	now    func() time.Duration
+	pid    int32
+	worlds []string
+	ring   []Event
+	next   int // overwrite cursor once len(ring) == cap(ring)
+	lost   uint64
+}
+
+// DefaultTraceCap bounds the ring when the caller does not choose.
+const DefaultTraceCap = 1 << 16
+
+// NewTracer creates a tracer with the given ring capacity (<=0 selects
+// DefaultTraceCap). The tracer stays disabled until AttachClock.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// AttachClock points the tracer at a (new) virtual clock and opens a new
+// world: subsequent events carry the returned pid and render as their own
+// process in the Chrome timeline. Experiments call this once per
+// simulated world, since each world restarts virtual time at zero.
+func (t *Tracer) AttachClock(now func() time.Duration, world string) int {
+	if t == nil {
+		return 0
+	}
+	t.now = now
+	t.worlds = append(t.worlds, world)
+	t.pid = int32(len(t.worlds))
+	return int(t.pid)
+}
+
+// Enabled reports whether events are being recorded. Instrumented code
+// may call it on a nil tracer.
+func (t *Tracer) Enabled() bool { return t != nil && t.now != nil }
+
+// Now returns the current virtual time (0 when disabled).
+func (t *Tracer) Now() time.Duration {
+	if t == nil || t.now == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Lost returns how many events the ring overwrote.
+func (t *Tracer) Lost() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.lost
+}
+
+// Len returns how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+func (t *Tracer) emit(ev Event) {
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.lost++
+}
+
+// Instant records a point event with no arguments.
+func (t *Tracer) Instant(cat, name, tid string) {
+	if t == nil || t.now == nil {
+		return
+	}
+	t.emit(Event{TS: t.now(), Pid: t.pid, Ph: PhInstant, Cat: cat, Name: name, Tid: tid})
+}
+
+// Instant1 records a point event with one integer argument.
+func (t *Tracer) Instant1(cat, name, tid, argName string, arg int64) {
+	if t == nil || t.now == nil {
+		return
+	}
+	t.emit(Event{TS: t.now(), Pid: t.pid, Ph: PhInstant, Cat: cat, Name: name, Tid: tid,
+		A1N: argName, A1: arg})
+}
+
+// Instant2 records a point event with two integer arguments.
+func (t *Tracer) Instant2(cat, name, tid, a1n string, a1 int64, a2n string, a2 int64) {
+	if t == nil || t.now == nil {
+		return
+	}
+	t.emit(Event{TS: t.now(), Pid: t.pid, Ph: PhInstant, Cat: cat, Name: name, Tid: tid,
+		A1N: a1n, A1: a1, A2N: a2n, A2: a2})
+}
+
+// Span records a complete event from start to now with one argument.
+func (t *Tracer) Span(cat, name, tid string, start time.Duration, argName string, arg int64) {
+	if t == nil || t.now == nil {
+		return
+	}
+	now := t.now()
+	t.emit(Event{TS: start, Dur: now - start, Pid: t.pid, Ph: PhComplete,
+		Cat: cat, Name: name, Tid: tid, A1N: argName, A1: arg})
+}
+
+// Events returns the recorded events in chronological (insertion) order.
+// The returned slice aliases the ring; callers must not retain it across
+// further emits.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if len(t.ring) < cap(t.ring) || t.next == 0 {
+		return t.ring
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Worlds returns the labels passed to AttachClock, indexed by pid-1.
+func (t *Tracer) Worlds() []string {
+	if t == nil {
+		return nil
+	}
+	return t.worlds
+}
