@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check alloc-check bench fmt experiments
+.PHONY: all build test vet race check alloc-check soak fuzz-short golden-check bench fmt experiments
 
 all: build
 
@@ -17,9 +17,28 @@ vet:
 # heap), but the race detector still guards the few places where goroutines
 # could creep in — and keeps the whole suite honest about shared state.
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 30m -skip 'OffloadEquivalenceSoak' ./...
 
-check: vet race alloc-check
+check: vet race soak alloc-check fuzz-short golden-check
+
+# The randomized offload-equivalence soak: 20 seeded loss+reorder+ECN+MTU-flap
+# schedules, offloaded vs software plaintext compared byte for byte, under the
+# race detector. Split out of `race` so it isn't run twice per check.
+soak:
+	$(GO) test -race -count=1 -timeout 30m -run 'OffloadEquivalence' ./internal/experiments/
+
+# A few seconds of coverage-guided fuzzing per target: TCP reassembly and the
+# RxEngine header parser/search path. `go test -fuzz` takes one target per
+# invocation, hence the separate lines.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzReassembly$$' -fuzztime 5s ./internal/tcpip/
+	$(GO) test -run '^$$' -fuzz '^FuzzRxEngine$$' -fuzztime 5s ./internal/offload/
+	$(GO) test -run '^$$' -fuzz '^FuzzRxSearchGarbage$$' -fuzztime 5s ./internal/offload/
+
+# Deterministic-seed rerun of the golden Chrome-trace: the full event
+# sequence of a seeded run must stay byte-identical.
+golden-check:
+	$(GO) test -count=1 -run 'GoldenChromeTrace' ./internal/experiments/
 
 # The race detector instruments allocations, so the zero-alloc guarantees
 # (disabled telemetry must not allocate on the per-packet path) are

@@ -118,3 +118,11 @@ func BenchmarkAblationMagic(b *testing.B) { runExperiment(b, "abl-magic") }
 // BenchmarkAblationRecordSize sweeps TLS record sizes to show where
 // per-record costs erase the offload's per-byte savings.
 func BenchmarkAblationRecordSize(b *testing.B) { runExperiment(b, "abl-recsize") }
+
+// BenchmarkECN sweeps CE-mark rates and traces the CE→ECE→CWR chain: an
+// ECN rate dip must never push the receive engine out of offloading.
+func BenchmarkECN(b *testing.B) { runExperiment(b, "ecn") }
+
+// BenchmarkMTUFlap runs the mid-flow MTU schedules under loss: queued
+// retransmissions re-cut at the new MSS, engines resume across the flap.
+func BenchmarkMTUFlap(b *testing.B) { runExperiment(b, "mtuflap") }

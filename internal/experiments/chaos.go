@@ -71,6 +71,45 @@ type ChaosFaults struct {
 	NIC       *nic.ChaosConfig
 	// RxPolicy overrides the receive engines' degradation policy.
 	RxPolicy *offload.FallbackPolicy
+
+	// LossProb and ReorderProb add independent per-frame loss and
+	// reordering on the data direction.
+	LossProb    float64
+	ReorderProb float64
+
+	// ECN enables RFC 3168 on every stack in the world before connections
+	// open; CEMarkProb makes the link rewrite that fraction of ECT frames
+	// to CE, so the sender's rate dips come from genuine CWR responses.
+	ECN        bool
+	CEMarkProb float64
+
+	// MTUFlaps schedules mid-flow path-MTU changes, relative to the moment
+	// the schedule is armed. Each flap updates the link's enforcement and
+	// every stack's segmentation MSS in the same virtual instant (a PMTUD
+	// verdict, minus the lost-frame round trip).
+	MTUFlaps []MTUFlap
+}
+
+// MTUFlap is one scheduled path-MTU change.
+type MTUFlap struct {
+	At  time.Duration // relative to fault arming
+	MTU int           // new IP-level path MTU in bytes (e.g. 1500, 1100)
+}
+
+// armMTUFlaps schedules the flaps: link enforcement and stack segmentation
+// change together, so re-segmentation is driven by the stacks rather than
+// by an RTO-per-oversized-frame crawl.
+func armMTUFlaps(sim *netsim.Simulator, base time.Duration, link *netsim.Link,
+	flaps []MTUFlap, stacks ...*tcpip.Stack) {
+	for _, fl := range flaps {
+		fl := fl
+		sim.At(base+fl.At, func() {
+			link.SetMTU(fl.MTU + wire.EthernetHeaderLen)
+			for _, st := range stacks {
+				st.SetMTU(fl.MTU)
+			}
+		})
+	}
 }
 
 // linkFaults builds the netsim config with blackouts shifted to absolute
@@ -80,6 +119,9 @@ func (f ChaosFaults) linkFaults(base time.Duration) netsim.FaultConfig {
 		Seed:        f.Seed,
 		CorruptProb: f.CorruptProb,
 		Burst:       f.Burst,
+		LossProb:    f.LossProb,
+		ReorderProb: f.ReorderProb,
+		CEMarkProb:  f.CEMarkProb,
 	}
 	if f.Evading {
 		fc.Corrupter = wire.CorruptPayload
@@ -155,6 +197,21 @@ type ChaosResult struct {
 	ReadsFailed   uint64
 	DigestErrors  uint64
 	FramingErrors uint64
+
+	// ECN signal chain, end to end: marks the link applied, marks the data
+	// receiver's TCP saw, echoes the data sender heard, and the cuts and
+	// CWR acknowledgements it produced.
+	CEMarked    uint64
+	CEReceived  uint64
+	ECEReceived uint64
+	ECNCuts     uint64
+	CWRSent     uint64
+
+	// MTU-flap outcomes: re-cut transmissions on the data sender, and
+	// frames the link dropped as oversized (0 when the stacks re-segment
+	// promptly — the regression the mtuflap scenario pins).
+	Resegments uint64
+	MTUDrops   uint64
 }
 
 // chaosRecv tracks one receiving connection's position in the pattern.
@@ -184,6 +241,10 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 	}, nic.Config{Chaos: f.NIC, CtxCacheFlows: 64})
 	w.Model.MinRTOMicros = 2000
 	w.Model.MaxRTOMicros = 500000
+	if f.ECN {
+		w.Gen.Stack.EnableECN()
+		w.Srv.Stack.EnableECN()
+	}
 
 	res := &ChaosResult{Mode: mode.String()}
 	cliTLS, srvTLS := TLSKeys(recordSize)
@@ -274,6 +335,7 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 	// Clean establishment, then arm the schedule on the data direction.
 	w.Sim.RunFor(3 * time.Millisecond)
 	w.Link.SetFaultsAtoB(f.linkFaults(w.Sim.Now()))
+	armMTUFlaps(w.Sim, w.Sim.Now(), w.Link, f.MTUFlaps, w.Gen.Stack, w.Srv.Stack)
 	warm := res.Bytes
 	rcvBefore := w.Srv.Ledger.Clone()
 	start := w.Sim.Now()
@@ -299,6 +361,13 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 		}
 	}
 	res.NIC = w.Srv.NIC.Stats
+	res.CEMarked = w.Link.StatsAtoB().CEMarked
+	res.CEReceived = w.Srv.Stack.Stats.CEReceived
+	res.ECEReceived = w.Gen.Stack.Stats.ECEReceived
+	res.ECNCuts = w.Gen.Stack.Stats.ECNCwndCuts
+	res.CWRSent = w.Gen.Stack.Stats.CWRSent
+	res.Resegments = w.Gen.Stack.Stats.Resegments
+	res.MTUDrops = w.Link.StatsAtoB().MTUDrops + w.Link.StatsBtoA().MTUDrops
 	return res
 }
 
@@ -312,6 +381,7 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 		NICCfg:    nic.Config{Chaos: f.NIC, CtxCacheFlows: 64},
 		NVMePlace: offloaded,
 		NVMeCRC:   offloaded,
+		ECN:       f.ECN,
 	})
 	w.Model.MinRTOMicros = 2000
 	w.Model.MaxRTOMicros = 500000
@@ -363,6 +433,7 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 	// Warm the pipeline clean, then arm the schedule on the response path.
 	w.Sim.RunFor(2 * time.Millisecond)
 	w.Back.SetFaultsBtoA(f.linkFaults(w.Sim.Now()))
+	armMTUFlaps(w.Sim, w.Sim.Now(), w.Back, f.MTUFlaps, w.Srv.Stack, w.Tgt.Stack)
 	warm := res.Bytes
 	srvBefore := w.Srv.Ledger.Clone()
 	start := w.Sim.Now()
@@ -380,6 +451,15 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 	res.DigestErrors = w.Host.Stats.DigestErrors
 	res.FramingErrors = w.Host.Stats.FramingErrors + w.Ctrl.Stats.FramingErrors
 	res.NIC = w.Srv.NIC.Stats
+	// Read responses flow target→server, so the server's stack sees the CE
+	// marks and the target's stack takes the cuts and re-segments.
+	res.CEMarked = w.Back.StatsBtoA().CEMarked
+	res.CEReceived = w.Srv.Stack.Stats.CEReceived
+	res.ECEReceived = w.Tgt.Stack.Stats.ECEReceived
+	res.ECNCuts = w.Tgt.Stack.Stats.ECNCwndCuts
+	res.CWRSent = w.Tgt.Stack.Stats.CWRSent
+	res.Resegments = w.Tgt.Stack.Stats.Resegments
+	res.MTUDrops = w.Back.StatsAtoB().MTUDrops + w.Back.StatsBtoA().MTUDrops
 	return res
 }
 

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestECNSignalChain pins the tentpole's ECN acceptance: every stage of the
+// CE→ECE→CWR chain fires under CE marking, and the offload engine never
+// falls back — the rate dip is a timing change, not a sequence-space one.
+func TestECNSignalChain(t *testing.T) {
+	f := ChaosFaults{Seed: 6002, ECN: true, CEMarkProb: 0.02}
+	r := RunChaosIperf(f, IperfTLSOffload, chaosStreams, 256<<10, 16<<10, chaosWindow)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations under ECN marking: %v", r.Violations)
+	}
+	if r.CEMarked == 0 || r.CEReceived == 0 || r.ECEReceived == 0 ||
+		r.ECNCuts == 0 || r.CWRSent == 0 {
+		t.Errorf("ECN chain has a dead stage: marked=%d ce=%d ece=%d cuts=%d cwr=%d",
+			r.CEMarked, r.CEReceived, r.ECEReceived, r.ECNCuts, r.CWRSent)
+	}
+	if r.NIC.RxCEMarks != r.CEReceived {
+		t.Errorf("NIC saw %d CE marks but the stack counted %d", r.NIC.RxCEMarks, r.CEReceived)
+	}
+	if r.EngFallbacks != 0 || r.NIC.RxFallbacks != 0 {
+		t.Errorf("engine fell back under a pure ECN rate dip: eng=%d nic=%d",
+			r.EngFallbacks, r.NIC.RxFallbacks)
+	}
+}
+
+// TestECNNegotiationRequired checks that marking without ECN-capable stacks
+// is inert: no frame is ECT, so the link has nothing to mark and the chain
+// stays dark end to end.
+func TestECNNegotiationRequired(t *testing.T) {
+	f := ChaosFaults{Seed: 6003, CEMarkProb: 0.05} // ECN not enabled
+	r := RunChaosIperf(f, IperfTLSOffload, 4, 256<<10, 16<<10, chaosWindow)
+	if r.CEMarked != 0 || r.CEReceived != 0 || r.ECNCuts != 0 {
+		t.Errorf("ECN chain fired without negotiation: marked=%d ce=%d cuts=%d",
+			r.CEMarked, r.CEReceived, r.ECNCuts)
+	}
+	if len(r.Violations) != 0 {
+		t.Errorf("violations: %v", r.Violations)
+	}
+}
+
+// TestMTUFlapResumesOffload pins the tentpole's §4.3 acceptance: engines
+// desynchronized by loss re-lock onto boundaries cut at a *different* MSS
+// than they lost sync at — at least one Resume per run, zero wrong bytes,
+// and no oversized frame ever reaches the narrowed link.
+func TestMTUFlapResumesOffload(t *testing.T) {
+	f := ChaosFaults{Seed: 6100, ECN: true, LossProb: 0.02, CEMarkProb: 0.005,
+		MTUFlaps: []MTUFlap{
+			{At: 500 * time.Microsecond, MTU: 1100},
+			{At: 1500 * time.Microsecond, MTU: 1500},
+		}}
+	off := RunChaosIperf(f, IperfTLSOffload, chaosStreams, 256<<10, 16<<10, mtuFlapWindow)
+	if len(off.Violations) != 0 {
+		t.Fatalf("violations under MTU flaps: %v", off.Violations)
+	}
+	if off.NIC.RxResumes < 1 {
+		t.Errorf("no engine resumed across the MTU flap: searches=%d resumes=%d",
+			off.NIC.RxSearches, off.NIC.RxResumes)
+	}
+	if off.Resegments == 0 {
+		t.Error("no transmission was re-cut at the new MSS")
+	}
+	if off.MTUDrops != 0 {
+		t.Errorf("%d frames were emitted at the old MSS after the shrink", off.MTUDrops)
+	}
+
+	// The software-only ablation under the identical schedule: both paths
+	// verify every delivered byte against the same pattern, so zero
+	// violations on both sides is zero plaintext divergence.
+	sw := RunChaosIperf(f, IperfTLS, chaosStreams, 256<<10, 16<<10, mtuFlapWindow)
+	if len(sw.Violations) != 0 {
+		t.Fatalf("software ablation violations: %v", sw.Violations)
+	}
+	if off.Bytes == 0 || sw.Bytes == 0 {
+		t.Errorf("no verified bytes: offload=%d software=%d", off.Bytes, sw.Bytes)
+	}
+}
+
+// TestMTUFlapNVMe checks the other L5P: PDU boundaries land mid-segment
+// after the flap and the NVMe-TCP receive offload still never completes a
+// read with wrong bytes.
+func TestMTUFlapNVMe(t *testing.T) {
+	f := ChaosFaults{Seed: 6200, ECN: true, LossProb: 0.01, CEMarkProb: 0.005,
+		MTUFlaps: []MTUFlap{
+			{At: 500 * time.Microsecond, MTU: 1100},
+			{At: 2 * time.Millisecond, MTU: 1500},
+		}}
+	r := RunChaosNVMe(f, true, 8, 8, mtuFlapWindow)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.ReadsOK == 0 {
+		t.Error("no read completed across the MTU flap")
+	}
+	if r.Resegments == 0 {
+		t.Error("target never re-cut a response at the new MSS")
+	}
+	if r.MTUDrops != 0 {
+		t.Errorf("%d oversized frames hit the narrowed backend link", r.MTUDrops)
+	}
+}
+
+// TestECNTableShape and the mtuflap twin keep the registered experiments
+// honest without re-running the full sweeps: one row each, spot-checked.
+func TestECNDeterminism(t *testing.T) {
+	run := func() *ChaosResult {
+		f := ChaosFaults{Seed: 7, ECN: true, CEMarkProb: 0.01,
+			MTUFlaps: []MTUFlap{{At: 700 * time.Microsecond, MTU: 1200}}}
+		return RunChaosIperf(f, IperfTLSOffload, 4, 256<<10, 16<<10, chaosWindow)
+	}
+	a, b := run(), run()
+	if a.Bytes != b.Bytes || a.CEMarked != b.CEMarked || a.ECNCuts != b.ECNCuts ||
+		a.Resegments != b.Resegments || a.NIC.RxResumes != b.NIC.RxResumes {
+		t.Errorf("ECN+flap run not deterministic:\na=%+v\nb=%+v", a, b)
+	}
+}

@@ -91,6 +91,8 @@ func All() []Experiment {
 		{"abl-magic", "Ablation: magic-pattern strength", AblationMagic},
 		{"abl-recsize", "Ablation: offload gain vs record size", AblationRecordSize},
 		{"chaos", "Chaos soak: corruption, bursts, blackouts, NIC faults", Chaos},
+		{"ecn", "ECN marking: CE->ECE->CWR chain under offload", ECN},
+		{"mtuflap", "Mid-flow MTU changes: re-segmentation vs offload resync", MTUFlapScenario},
 	}
 }
 

@@ -98,6 +98,8 @@ type StorageOpts struct {
 	NVMePlace, NVMeCRC bool
 	// TargetTxOffload offloads the target's response data digests.
 	TargetTxOffload bool
+	// ECN enables RFC 3168 on all three stacks before establishment.
+	ECN bool
 }
 
 // NewStorageWorld builds the topology and establishes the NVMe connection.
@@ -135,6 +137,11 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	w.Front.AttachB(w.Srv.NIC)
 	w.Back.AttachA(w.Srv.NIC)
 	w.Back.AttachB(w.Tgt.NIC)
+	if o.ECN {
+		w.Gen.Stack.EnableECN()
+		w.Srv.Stack.EnableECN()
+		w.Tgt.Stack.EnableECN()
+	}
 	// Attach before establishment: offload engines pick up their tracer
 	// when AttachRx/AttachTx run during connection setup below.
 	w.attachTelemetry("storage")

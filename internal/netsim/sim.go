@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Simulator owns the virtual clock and the pending event queue.
@@ -195,6 +196,12 @@ type FaultConfig struct {
 	// Burst, when set, adds a Gilbert–Elliott two-state burst-loss channel
 	// on top of LossProb.
 	Burst *GilbertElliott
+	// CEMarkProb is the probability an ECN-capable frame is delivered with
+	// its codepoint rewritten to CE ("congestion experienced"), the way an
+	// AQM-enabled router signals congestion without dropping. Frames that
+	// are not ECT pass through unmarked (and consume no extra randomness
+	// when the probability is zero, preserving existing seeded sequences).
+	CEMarkProb float64
 	// Blackouts lists timed link outages: frames sent while a window is
 	// active are dropped wholesale.
 	Blackouts []Blackout
@@ -234,6 +241,8 @@ type DirStats struct {
 	Corrupted     uint64 // frames delivered damaged
 	BurstDropped  uint64 // drops charged to the Gilbert–Elliott model
 	BlackoutDrops uint64 // drops charged to blackout windows
+	CEMarked      uint64 // frames delivered with the ECN codepoint set to CE
+	MTUDrops      uint64 // frames dropped for exceeding the link MTU
 	Bytes         uint64 // payload-bearing frame bytes delivered
 }
 
@@ -243,6 +252,10 @@ type LinkConfig struct {
 	Gbps float64
 	// Latency is the one-way propagation delay.
 	Latency time.Duration
+	// MTU is the maximum frame size in bytes (Ethernet header included);
+	// larger frames are dropped, as on a real path whose MTU shrank under
+	// a sender that has not re-segmented yet. 0 means unlimited.
+	MTU int
 	// AtoB and BtoA configure per-direction impairments.
 	AtoB, BtoA FaultConfig
 }
@@ -316,6 +329,15 @@ func (l *Link) setFaults(dir int, fc FaultConfig) {
 	l.dirs[dir].geBad = false
 }
 
+// SetMTU changes the link's path MTU mid-run (both directions), modelling a
+// route change onto a narrower or wider path at a virtual-clock instant.
+// Frames already in flight are unaffected; frames sent after the change are
+// dropped if they exceed the new MTU. 0 removes the limit.
+func (l *Link) SetMTU(mtu int) { l.cfg.MTU = mtu }
+
+// MTU returns the link's current maximum frame size (0 = unlimited).
+func (l *Link) MTU() int { return l.cfg.MTU }
+
 // StatsAtoB returns counters for the A→B direction.
 func (l *Link) StatsAtoB() DirStats { return l.dirs[0].stats }
 
@@ -351,6 +373,17 @@ func (l *Link) send(dir int, frame []byte) {
 	}
 	d.stats.Sent++
 	l.tracer.Instant1("net", "pkt.tx", l.tids[dir], "bytes", int64(len(frame)))
+
+	// Path MTU: frames too large for the current path are dropped outright
+	// (no ICMP in this model — the stack learns via loss, or is told out of
+	// band by the harness playing PMTUD). No rng draw, so enabling an MTU
+	// does not perturb the fault sequences.
+	if l.cfg.MTU > 0 && len(frame) > l.cfg.MTU {
+		d.stats.MTUDrops++
+		d.stats.Dropped++
+		l.tracer.Instant1("net", "pkt.drop.mtu", l.tids[dir], "bytes", int64(len(frame)))
+		return
+	}
 
 	// Serialization: the frame occupies the transmitter for its wire time.
 	now := l.sim.Now()
@@ -424,6 +457,19 @@ func (l *Link) send(dir int, frame []byte) {
 			d.stats.Corrupted++
 			l.tracer.Instant("net", "pkt.corrupt", l.tids[dir])
 			frame = dam
+		}
+	}
+	// ECN: an AQM router under (simulated) congestion rewrites ECT frames
+	// to CE instead of dropping them. Marking happens on a private copy so
+	// sender-side buffers and duplicates stay pristine; non-ECT frames pass
+	// through and still consume the draw, keeping the sequence a pure
+	// function of the config.
+	if fc.CEMarkProb > 0 && d.rng.Float64() < fc.CEMarkProb {
+		marked := append([]byte(nil), frame...)
+		if wire.SetCE(marked) {
+			d.stats.CEMarked++
+			l.tracer.Instant("net", "pkt.ce", l.tids[dir])
+			frame = marked
 		}
 	}
 	deliver := func() {

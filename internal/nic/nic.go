@@ -64,6 +64,10 @@ type Stats struct {
 	RxSearches uint64
 	RxTracks   uint64
 	RxResumes  uint64
+
+	// RxCEMarks counts received frames carrying the ECN CE codepoint — the
+	// congestion signal the NIC sees on the wire before TCP reacts to it.
+	RxCEMarks uint64
 }
 
 // NIC is one host's network device.
@@ -239,6 +243,9 @@ func (n *NIC) DeliverFrame(frame []byte) {
 	}
 	n.Stats.RxPackets++
 	n.Stats.RxBytes += uint64(len(frame))
+	if pkt.ECN == wire.ECNCE {
+		n.Stats.RxCEMarks++
+	}
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
 	n.tracer.Instant2("dma", "dma.rx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))

@@ -49,6 +49,7 @@ func TestRxEngineFSM(t *testing.T) {
 	cases := []struct {
 		name    string
 		bodies  []int
+		sizes   []int // packet cut sizes; nil = uniform 100-byte packets
 		lose    map[int]bool
 		respond string
 		policy  FallbackPolicy
@@ -175,6 +176,53 @@ func TestRxEngineFSM(t *testing.T) {
 			},
 		},
 		{
+			// Mid-flow MTU changes (§4.3): packet boundaries are not part of
+			// the engine's context, so a re-segmented stream — every cut
+			// moved — must not perturb a clean offload...
+			name:    "mtu shrink on a clean stream is invisible",
+			sizes:   append(repeatSizes(100, 4), repeatSizes(60, 300)...),
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.ResyncRequests != 0 || e.Stats.MsgsCompleted != 10 {
+					t.Errorf("stats %+v", e.Stats)
+				}
+			},
+		},
+		{
+			// ...and an engine recovering across a shrink must re-lock onto
+			// boundaries cut at the NEW size without a spurious abort: the
+			// tracked header chain lives in sequence space, not packet space.
+			name:    "mtu shrink while tracking resumes without abort",
+			lose:    map[int]bool{1: true},
+			sizes:   append(repeatSizes(100, 3), repeatSizes(60, 300)...),
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.TrackingAborts != 0 {
+					t.Errorf("spurious abort across the MTU shrink: %+v", e.Stats)
+				}
+				if e.Stats.ResyncConfirms == 0 || e.Stats.Resumes == 0 {
+					t.Errorf("recovery did not complete: %+v", e.Stats)
+				}
+			},
+		},
+		{
+			name:    "mtu grow while tracking resumes without abort",
+			lose:    map[int]bool{1: true},
+			sizes:   append(repeatSizes(100, 3), repeatSizes(220, 100)...),
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.TrackingAborts != 0 {
+					t.Errorf("spurious abort across the MTU grow: %+v", e.Stats)
+				}
+				if e.Stats.ResyncConfirms == 0 || e.Stats.Resumes == 0 {
+					t.Errorf("recovery did not complete: %+v", e.Stats)
+				}
+			},
+		},
+		{
 			name:    "chaos drops the resync request",
 			lose:    map[int]bool{1: true},
 			respond: "confirm",
@@ -222,8 +270,12 @@ func TestRxEngineFSM(t *testing.T) {
 			e.SetFallbackPolicy(tc.policy)
 			e.SetChaos(tc.chaos)
 
+			sizes := tc.sizes
+			if sizes == nil {
+				sizes = repeatSizes(100, 100)
+			}
 			var sawOffloaded bool
-			for i, p := range st.packets(repeatSizes(100, 100)) {
+			for i, p := range st.packets(sizes) {
 				if tc.lose[i] {
 					continue
 				}

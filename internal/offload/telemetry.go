@@ -36,6 +36,7 @@ func (e *RxEngine) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry
 			e.stateHist[s] = reg.Histogram(rxStateHistName[s])
 		}
 		e.resyncHist = reg.Histogram("offload.rx.resync_latency_ns")
+		e.realignHist = reg.Histogram("offload.rx.realign_latency_ns")
 	}
 }
 
@@ -68,6 +69,15 @@ func (e *RxEngine) setState(s rxState) {
 		e.stateHist[e.state].Record(int64(now - e.stateSince))
 		e.stateSince = now
 		e.tr.Instant1("fsm", rxStateTraceName[s], e.traceTid, "from", int64(e.state))
+		// Boundary-realignment latency: virtual time from losing packet/
+		// message alignment (leaving offloading) to regaining it (the
+		// Resume). This is the paper's §4.3 recovery cost end to end —
+		// search, resync round trip, and tracking — as one number.
+		if e.state == rxOffloading {
+			e.desyncAt = now
+		} else if s == rxOffloading {
+			e.realignHist.Record(int64(now - e.desyncAt))
+		}
 	}
 	e.state = s
 }
@@ -114,8 +124,10 @@ type telemetryState struct {
 	traceTid     string
 	stateSince   time.Duration
 	resyncSentAt time.Duration
+	desyncAt     time.Duration
 	stateHist    [4]*telemetry.Histogram
 	resyncHist   *telemetry.Histogram
+	realignHist  *telemetry.Histogram
 }
 
 // txTelemetryState is the telemetry plumbing embedded in TxEngine.

@@ -54,6 +54,13 @@ type Stack struct {
 	tracer   *telemetry.Tracer
 	traceTid string
 
+	// ecn enables RFC 3168 negotiation on connections opened or accepted
+	// afterwards (off by default: legacy peers and seeded golden runs).
+	ecn bool
+	// mtu, when nonzero, overrides the model's path MTU for segmentation
+	// (SetMTU; the model value is the boot-time interface MTU).
+	mtu int
+
 	// Stats counts stack-level events.
 	Stats StackStats
 }
@@ -66,6 +73,17 @@ type StackStats struct {
 	FastRetransmits uint64
 	Timeouts        uint64
 	OutOfOrderIn    uint64
+
+	// ECN (RFC 3168).
+	CEReceived  uint64 // data segments that arrived CE-marked
+	ECESent     uint64 // segments sent with the ECE echo set
+	ECEReceived uint64 // segments received with ECE while ECN is negotiated
+	CWRSent     uint64 // data segments sent with CWR (stops the peer's echo)
+	ECNCwndCuts uint64 // congestion-window reductions triggered by ECE
+
+	// Mid-flow path-MTU changes.
+	MTUChanges uint64 // SetMTU calls while sockets were live
+	Resegments uint64 // transmissions re-cut after the MSS changed under them
 }
 
 // NewStack creates a stack for the host with the given IP. The ledger
@@ -90,6 +108,46 @@ func (st *Stack) SetDevice(dev NetDevice) { st.dev = dev }
 // SetISS overrides the initial-sequence-number seed for sockets created
 // afterwards. Tests use it to exercise 32-bit sequence wraparound.
 func (st *Stack) SetISS(base uint32) { st.issSeed = base }
+
+// EnableECN turns on RFC 3168 ECN for connections opened or accepted after
+// the call: SYNs negotiate ECT, data segments are sent ECN-capable, CE
+// marks are echoed as ECE, and ECE triggers a once-per-window cwnd cut
+// answered with CWR. Both ends must enable it for negotiation to succeed.
+func (st *Stack) EnableECN() { st.ecn = true }
+
+// ECNEnabled reports whether EnableECN has been called.
+func (st *Stack) ECNEnabled() bool { return st.ecn }
+
+// MSS returns the current maximum segment size: the per-stack path MTU set
+// by SetMTU when present, the model's interface MTU otherwise. Every
+// segmentation site (new data, fast retransmit, RTO retransmit) reads it at
+// cut time, so an MTU change re-segments everything still unsent or unacked.
+func (st *Stack) MSS() int {
+	if st.mtu > 0 {
+		return st.mtu - (wire.IPv4HeaderLen + wire.TCPHeaderLen)
+	}
+	return st.model.MSS()
+}
+
+// MTU returns the stack's current path MTU.
+func (st *Stack) MTU() int {
+	if st.mtu > 0 {
+		return st.mtu
+	}
+	return st.model.MTU
+}
+
+// SetMTU changes the path MTU at the current virtual instant, the way a
+// PMTUD verdict or a route change lands on a live stack. Segments cut
+// afterwards — including retransmissions of data first sent at the old MSS
+// — honor the new size; nothing already handed to the device is recalled.
+func (st *Stack) SetMTU(mtu int) {
+	old := st.MTU()
+	st.mtu = mtu
+	st.Stats.MTUChanges++
+	st.tracer.Instant2("tcp", "tcp.mtu_change", st.traceTid,
+		"old", int64(old), "new", int64(st.MTU()))
+}
 
 // IP returns the stack's address.
 func (st *Stack) IP() [4]byte { return st.ip }
@@ -134,10 +192,30 @@ func (st *Stack) Connect(remote wire.Addr, onEstablished func(*Socket)) *Socket 
 	s := st.newSocket(flow)
 	s.OnEstablished = onEstablished
 	s.state = stateSynSent
-	s.sendControl(wire.FlagSYN, s.iss)
+	s.sendControl(s.synFlags(), s.iss)
 	s.sndNxt = s.iss + 1
 	s.armRTO()
 	return s
+}
+
+// synFlags returns the active-open SYN flags: ECE|CWR advertise ECN
+// willingness (RFC 3168 §6.1.1) when the stack has ECN enabled.
+func (s *Socket) synFlags() wire.TCPFlags {
+	f := wire.FlagSYN
+	if s.stack.ecn {
+		f |= wire.FlagECE | wire.FlagCWR
+	}
+	return f
+}
+
+// synAckFlags returns the passive-open SYN-ACK flags: ECE alone accepts
+// the peer's ECN offer.
+func (s *Socket) synAckFlags() wire.TCPFlags {
+	f := wire.FlagSYN | wire.FlagACK
+	if s.ecnOK {
+		f |= wire.FlagECE
+	}
+	return f
 }
 
 func (st *Stack) minRTO() time.Duration {
@@ -155,10 +233,10 @@ func (st *Stack) newSocket(flow wire.FlowID) *Socket {
 		iss:        st.issSeed,
 		sndBufCap:  defaultSndBuf,
 		rcvBufCap:  defaultRcvBuf,
-		cwnd:       10 * st.model.MSS(),
+		cwnd:       10 * st.MSS(),
 		ssthresh:   1 << 30,
 		rto:        initialRTO,
-		peerWindow: st.model.MSS(), // until first segment arrives
+		peerWindow: st.MSS(), // until first segment arrives
 	}
 	st.issSeed += 64013
 	s.sndUna = s.iss
@@ -189,7 +267,13 @@ func (st *Stack) Input(pkt *wire.Packet, flags meta.RxFlags) {
 				s.rcvNxt = pkt.Seq + 1
 				s.irs = pkt.Seq
 				s.peerWindow = int(pkt.Window) << WindowShift
-				s.sendControl(wire.FlagSYN|wire.FlagACK, s.iss)
+				// ECN negotiation: a SYN carrying ECE|CWR offers ECN;
+				// accept with ECE on the SYN-ACK if we speak it too.
+				if st.ecn && pkt.Flags&(wire.FlagECE|wire.FlagCWR) ==
+					wire.FlagECE|wire.FlagCWR {
+					s.ecnOK = true
+				}
+				s.sendControl(s.synAckFlags(), s.iss)
 				s.sndNxt = s.iss + 1
 				s.armRTO()
 			}
@@ -305,6 +389,17 @@ type Socket struct {
 	// first may be spurious (queueing-delay spikes); only a streak enters
 	// full loss recovery.
 	rtoStreak int
+
+	// ECN state (RFC 3168).
+	ecnOK        bool   // negotiated on the handshake; data goes out ECT(0)
+	ecnEcho      bool   // CE seen: set ECE on outgoing segments until CWR
+	cwrPending   bool   // cut taken: mark the next data segment with CWR
+	ecnCutActive bool   // one cut per window: suppress ECE until ecnCwrEnd
+	ecnCwrEnd    uint32 // sndNxt at cut time; the suppression window's end
+
+	// lastMSS tracks the segment size this socket last cut at, so a cut at
+	// a different size after SetMTU is visible as a re-segmentation event.
+	lastMSS int
 
 	// Receive state.
 	irs        uint32
@@ -479,6 +574,12 @@ func (s *Socket) recvWindow() uint16 {
 }
 
 func (s *Socket) sendControl(flags wire.TCPFlags, seq uint32) {
+	// While echoing congestion, every non-handshake ACK carries ECE so the
+	// sender hears it even if individual ACKs are lost (RFC 3168 §6.1.3).
+	if s.ecnEcho && flags&wire.FlagACK != 0 && flags&wire.FlagSYN == 0 {
+		flags |= wire.FlagECE
+		s.stack.Stats.ECESent++
+	}
 	pkt := &wire.Packet{
 		Flow:   s.flow,
 		Seq:    seq,
@@ -531,7 +632,7 @@ func (s *Socket) trySend() {
 	if !s.Established() && s.state != stateFinWait && s.state != stateLastAck {
 		return
 	}
-	mss := s.stack.model.MSS()
+	mss := s.stack.MSS()
 	for {
 		inFlight := int(s.sndNxt - s.sndUna)
 		wnd := s.cwnd
@@ -589,6 +690,30 @@ func (s *Socket) transmitRange(seq uint32, n int, isRetransmit bool) {
 		Window:  s.recvWindow(),
 		Payload: payload,
 	}
+	if s.ecnOK {
+		pkt.ECN = wire.ECNECT0
+		if s.ecnEcho {
+			pkt.Flags |= wire.FlagECE
+			s.stack.Stats.ECESent++
+		}
+		if s.cwrPending {
+			pkt.Flags |= wire.FlagCWR
+			s.cwrPending = false
+			s.stack.Stats.CWRSent++
+			s.stack.tracer.Instant1("tcp", "tcp.cwr", s.stack.traceTid,
+				"seq", int64(seq))
+		}
+	}
+	// A cut at a different size than this socket's previous one means the
+	// MSS moved under the flow: the stream is being re-segmented.
+	if mss := s.stack.MSS(); s.lastMSS != mss {
+		if s.lastMSS != 0 {
+			s.stack.Stats.Resegments++
+			s.stack.tracer.Instant2("tcp", "tcp.reseg", s.stack.traceTid,
+				"seq", int64(seq), "mss", int64(mss))
+		}
+		s.lastMSS = mss
+	}
 	if isRetransmit {
 		s.stack.tracer.Instant2("tcp", "tcp.retransmit", s.stack.traceTid,
 			"seq", int64(seq), "len", int64(n))
@@ -615,9 +740,9 @@ func (s *Socket) onRTO() {
 	}
 	switch s.state {
 	case stateSynSent:
-		s.sendControl(wire.FlagSYN, s.iss)
+		s.sendControl(s.synFlags(), s.iss)
 	case stateSynRcvd:
-		s.sendControl(wire.FlagSYN|wire.FlagACK, s.iss)
+		s.sendControl(s.synAckFlags(), s.iss)
 	default:
 		if s.Unacked() == 0 {
 			return
@@ -632,8 +757,8 @@ func (s *Socket) onRTO() {
 		// A single timeout may be spurious — a queueing-delay spike — and
 		// must not trigger a full-window retransmission.
 		flight := int(s.sndNxt - s.sndUna)
-		s.ssthresh = max(flight/2, 2*s.stack.model.MSS())
-		s.cwnd = s.stack.model.MSS()
+		s.ssthresh = max(flight/2, 2*s.stack.MSS())
+		s.cwnd = s.stack.MSS()
 		s.rtoStreak++
 		if s.rtoStreak > 1 {
 			s.inRecovery = true
@@ -642,7 +767,7 @@ func (s *Socket) onRTO() {
 			s.inRecovery = false
 		}
 		s.dupAcks = 0
-		n := min(s.stack.model.MSS(), len(s.sndBuf))
+		n := min(s.stack.MSS(), len(s.sndBuf))
 		if n > 0 {
 			s.transmitRange(s.sndUna, n, true)
 		} else if s.finSeq == s.sndUna && s.sndNxt == s.sndUna+1 {
@@ -679,6 +804,10 @@ func (s *Socket) input(pkt *wire.Packet, flags meta.RxFlags) {
 			s.rcvNxt = pkt.Seq + 1
 			s.sndUna = pkt.Ack
 			s.peerWindow = int(pkt.Window) << WindowShift
+			// ECE on the SYN-ACK means the peer accepted our ECN offer.
+			if s.stack.ecn && pkt.Flags&wire.FlagECE != 0 {
+				s.ecnOK = true
+			}
 			s.state = stateEstablished
 			s.stopRTO()
 			s.sendAck()
@@ -714,6 +843,23 @@ func (s *Socket) input(pkt *wire.Packet, flags meta.RxFlags) {
 		return
 	}
 
+	if s.ecnOK && len(pkt.Payload) > 0 {
+		// CWR from the sender acknowledges our echo; a CE mark on this very
+		// segment restarts it (checked after, so back-to-back congestion is
+		// not swallowed by the reset).
+		if pkt.Flags&wire.FlagCWR != 0 {
+			s.ecnEcho = false
+		}
+		if pkt.ECN == wire.ECNCE {
+			s.stack.Stats.CEReceived++
+			if !s.ecnEcho {
+				s.stack.tracer.Instant1("tcp", "tcp.ce", s.stack.traceTid,
+					"seq", int64(pkt.Seq))
+			}
+			s.ecnEcho = true
+		}
+	}
+
 	if pkt.Flags&wire.FlagACK != 0 {
 		s.processAck(pkt)
 	}
@@ -731,7 +877,28 @@ func (s *Socket) stopRTO() {
 func (s *Socket) processAck(pkt *wire.Packet) {
 	ack := pkt.Ack
 	s.peerWindow = int(pkt.Window) << WindowShift
-	mss := s.stack.model.MSS()
+	mss := s.stack.MSS()
+
+	// ECE: the peer saw a CE mark. React at most once per window (RFC 3168
+	// §6.1.2): halve cwnd, answer with CWR on the next data segment, and
+	// ignore further echoes until the cut's flight is acknowledged. Loss
+	// recovery already took its own reduction, so don't stack a second one.
+	if s.ecnOK && pkt.Flags&wire.FlagECE != 0 {
+		s.stack.Stats.ECEReceived++
+		if !s.ecnCutActive && !s.inRecovery {
+			s.ecnCutActive = true
+			s.ecnCwrEnd = s.sndNxt
+			s.ssthresh = max(s.cwnd/2, 2*mss)
+			s.cwnd = s.ssthresh
+			s.cwrPending = true
+			s.stack.Stats.ECNCwndCuts++
+			s.stack.tracer.Instant2("tcp", "tcp.ecn_cut", s.stack.traceTid,
+				"cwnd", int64(s.cwnd), "end", int64(s.ecnCwrEnd))
+		}
+	}
+	if s.ecnCutActive && !seqLT(ack, s.ecnCwrEnd) {
+		s.ecnCutActive = false
+	}
 
 	if seqLE(ack, s.sndUna) {
 		// Duplicate ACK (only counts if it doesn't carry new data ack).

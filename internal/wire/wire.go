@@ -32,13 +32,17 @@ const ProtoTCP = 6
 // TCPFlags is the TCP header flag byte.
 type TCPFlags uint8
 
-// TCP flag bits.
+// TCP flag bits. ECE and CWR sit at their real header positions (bits 6
+// and 7); bit 5 (URG) is unused here.
 const (
 	FlagFIN TCPFlags = 1 << iota
 	FlagSYN
 	FlagRST
 	FlagPSH
 	FlagACK
+	_ // URG, unused
+	FlagECE
+	FlagCWR
 )
 
 // String renders the set flags, e.g. "SYN|ACK".
@@ -49,6 +53,7 @@ func (f TCPFlags) String() string {
 	}{
 		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
 		{FlagRST, "RST"}, {FlagPSH, "PSH"},
+		{FlagECE, "ECE"}, {FlagCWR, "CWR"},
 	}
 	out := ""
 	for _, n := range names {
@@ -93,6 +98,14 @@ func (f FlowID) Reverse() FlowID { return FlowID{Src: f.Dst, Dst: f.Src} }
 // String renders "src -> dst".
 func (f FlowID) String() string { return f.Src.String() + " -> " + f.Dst.String() }
 
+// ECN codepoints (RFC 3168), the low two bits of the IPv4 ToS byte.
+const (
+	ECNNotECT uint8 = 0b00 // sender does not speak ECN
+	ECNECT1   uint8 = 0b01
+	ECNECT0   uint8 = 0b10 // ECN-capable transport
+	ECNCE     uint8 = 0b11 // congestion experienced (set by the network)
+)
+
 // Packet is a parsed TCP/IPv4 frame. Seq numbers the first payload byte.
 type Packet struct {
 	Flow    FlowID
@@ -100,6 +113,7 @@ type Packet struct {
 	Ack     uint32
 	Flags   TCPFlags
 	Window  uint16
+	ECN     uint8 // IP-level ECN codepoint (low 2 bits of the ToS byte)
 	Payload []byte
 }
 
@@ -140,7 +154,8 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv4)
 
 	// IPv4.
-	ip[0] = 0x45 // version 4, IHL 5
+	ip[0] = 0x45         // version 4, IHL 5
+	ip[1] = p.ECN & 0b11 // ToS: DSCP 0, ECN codepoint
 	totalLen := IPv4HeaderLen + TCPHeaderLen + len(p.Payload)
 	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
 	ip[8] = 64 // TTL
@@ -223,8 +238,38 @@ func Parse(buf []byte) (*Packet, error) {
 		Ack:     binary.BigEndian.Uint32(tcp[8:12]),
 		Flags:   TCPFlags(tcp[13]),
 		Window:  binary.BigEndian.Uint16(tcp[14:16]),
+		ECN:     ip[1] & 0b11,
 		Payload: payload,
 	}, nil
+}
+
+// SetCE rewrites frame's ECN codepoint to CE ("congestion experienced") in
+// place, repairing the IPv4 header checksum, the way an ECN-marking router
+// does. Frames that are not ECN-capable (ECT(0)/ECT(1)) are left untouched;
+// the return value reports whether the mark was applied.
+func SetCE(frame []byte) bool {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return false
+	}
+	ip := frame[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return false
+	}
+	ecn := ip[1] & 0b11
+	if ecn == ECNNotECT || ecn == ECNCE {
+		return false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return false
+	}
+	ip[1] |= ECNCE
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], internetChecksum(ip[:ihl], 0))
+	return true
 }
 
 func macFor(ip [4]byte) []byte {
