@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check alloc-check soak fuzz-short golden-check bench fmt experiments
+.PHONY: all build test vet race check alloc-check soak fuzz-short golden-check bench fmt fmt-check lint experiments
 
 all: build
 
@@ -19,7 +19,13 @@ vet:
 race:
 	$(GO) test -race -timeout 30m -skip 'OffloadEquivalenceSoak' ./...
 
-check: vet race soak alloc-check fuzz-short golden-check
+check: vet lint fmt-check race soak alloc-check fuzz-short golden-check
+
+# The invariant linter: the analyzers in internal/analysis (virtclock,
+# nilhook, statsreg, wiremut) enforce the DESIGN.md contracts mechanically.
+# See DESIGN.md "Invariants as analyzers".
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 # The randomized offload-equivalence soak: 20 seeded loss+reorder+ECN+MTU-flap
 # schedules, offloaded vs software plaintext compared byte for byte, under the
@@ -53,6 +59,11 @@ bench:
 
 fmt:
 	gofmt -l internal cmd
+
+# fmt that fails: `gofmt -l` always exits 0, so check runs use this form.
+fmt-check:
+	@out=$$(gofmt -l internal cmd); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 experiments:
 	$(GO) run ./cmd/experiments

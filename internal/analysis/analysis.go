@@ -1,0 +1,139 @@
+// Package analysis is a self-contained, dependency-free re-implementation
+// of the golang.org/x/tools/go/analysis surface this repository needs: a
+// set of static analyzers ("simlint") that mechanically enforce the
+// simulator's design invariants (DESIGN.md "Invariants as analyzers"), a
+// package loader built on `go list -export` plus the standard library's
+// gc export-data importer, and an analysistest-style fixture runner.
+//
+// The contracts these analyzers encode are the ones everything downstream
+// leans on: the byte-identical golden Chrome trace and the seeded
+// offload-vs-software equivalence soak assume virtual-clock purity and
+// seeded randomness (virtclock); the zero-alloc disabled telemetry path
+// assumes nil-safe hooks (nilhook); the metrics registry's reflective
+// flattener assumes counter-shaped Stats structs that are actually
+// registered (statsreg); and the ECN path assumes serialized frames are
+// only mutated through checksum-repairing helpers (wiremut). A violation
+// fails `make lint` (inside `make check`) at source level instead of
+// flaking a soak after the fact.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run executes per package; RunProgram, when
+// set, executes once after every package with whole-program visibility
+// (used by statsreg, whose "is it registered anywhere" question spans
+// packages).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// RunProgram runs after all per-package passes with the whole
+	// program in view. Either Run or RunProgram (or both) may be set.
+	RunProgram func(*Program) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is the full set of packages one simlint invocation analyzes.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a whole-program diagnostic at pos.
+func (p *Program) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzers over the program and returns their
+// diagnostics sorted by position then analyzer name, deterministically.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		collect := func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		if a.Run != nil {
+			for _, pkg := range prog.Packages {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      prog.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Pkg,
+					TypesInfo: pkg.TypesInfo,
+					report:    collect,
+				}
+				if err := a.Run(pass); err != nil {
+					collect(Diagnostic{Pos: token.NoPos,
+						Message: fmt.Sprintf("internal error: %v", err)})
+				}
+			}
+		}
+		if a.RunProgram != nil {
+			prog.report = collect
+			if err := a.RunProgram(prog); err != nil {
+				collect(Diagnostic{Pos: token.NoPos,
+					Message: fmt.Sprintf("internal error: %v", err)})
+			}
+			prog.report = nil
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// All lists every simlint analyzer, in reporting order.
+var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut}

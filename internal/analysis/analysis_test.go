@@ -1,0 +1,35 @@
+package analysis
+
+import "testing"
+
+func TestVirtClock(t *testing.T) {
+	RunTest(t, "testdata", VirtClock, "virtclock/a", "virtclock/cmdmain")
+}
+
+func TestNilHook(t *testing.T) {
+	RunTest(t, "testdata", NilHook, "nilhook/telemetry")
+}
+
+func TestStatsReg(t *testing.T) {
+	RunTest(t, "testdata", StatsReg, "statsreg/a")
+}
+
+func TestWireMut(t *testing.T) {
+	RunTest(t, "testdata", WireMut, "wiremut/a", "wiremut/wire")
+}
+
+// TestRepoClean is the self-application gate: the analyzers over the
+// whole module must report nothing, so a regression against any DESIGN.md
+// invariant fails the test suite, not just `make lint`.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := Load("repro/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range Run(prog, All) {
+		t.Errorf("%s: %s [%s]", prog.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

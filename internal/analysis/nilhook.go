@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilHook protects the zero-alloc disabled telemetry path: a nil *Tracer,
+// *Histogram, or *Registry is the "telemetry off" state, and every
+// instrumented hot path calls hooks on it unconditionally. Each exported
+// pointer-receiver method on those types must therefore begin with a
+// nil-receiver guard — either
+//
+//	if t == nil { ... return }        (optionally || more conditions)
+//	return t != nil && ...            (boolean accessors)
+//
+// as its first statement, so `make alloc-check`'s AllocsPerRun assertions
+// and every untraced run stay panic-free. Unexported helpers (reached
+// only behind a guard) and value-receiver methods are exempt.
+var NilHook = &Analyzer{
+	Name: "nilhook",
+	Doc:  "telemetry hook methods must begin with a nil-receiver guard",
+	Run:  runNilHook,
+}
+
+// nilGuardedTypes are the telemetry types whose nil value means
+// "disabled". The analyzer keys on the package name so analysistest
+// fixtures can model the contract without importing the real package.
+var nilGuardedTypes = map[string]bool{"Tracer": true, "Histogram": true, "Registry": true}
+
+func runNilHook(pass *Pass) error {
+	if pass.Pkg.Name() != "telemetry" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			base, ok := star.X.(*ast.Ident)
+			if !ok || !nilGuardedTypes[base.Name] {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) != 1 || names[0].Name == "_" {
+				pass.Reportf(fd.Name.Pos(),
+					"(*%s).%s discards its receiver and cannot nil-guard it; telemetry hooks must begin with a nil-receiver guard",
+					base.Name, fd.Name.Name)
+				continue
+			}
+			recv := names[0].Name
+			if fd.Body == nil || len(fd.Body.List) == 0 || !isNilGuard(fd.Body.List[0], recv) {
+				pass.Reportf(fd.Name.Pos(),
+					"(*%s).%s must begin with a nil-receiver guard (e.g. `if %s == nil { return ... }`): a nil receiver is the disabled-telemetry state",
+					base.Name, fd.Name.Name, recv)
+			}
+		}
+	}
+	return nil
+}
+
+// isNilGuard reports whether stmt is a recognized nil-receiver guard.
+func isNilGuard(stmt ast.Stmt, recv string) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		// `if recv == nil || ... { ...; return }` — the check may sit
+		// anywhere in the ||-chain, and the body must leave the method.
+		if s.Init != nil || !orChainChecksNil(s.Cond, recv, token.EQL) {
+			return false
+		}
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		_, ret := s.Body.List[len(s.Body.List)-1].(*ast.ReturnStmt)
+		return ret
+	case *ast.ReturnStmt:
+		// `return recv != nil && ...` — the nil check must be the
+		// leftmost operand so it evaluates before any dereference.
+		if len(s.Results) != 1 {
+			return false
+		}
+		return leftmostChecksNil(s.Results[0], recv)
+	}
+	return false
+}
+
+// orChainChecksNil walks an ||-chain looking for `recv op nil`.
+func orChainChecksNil(e ast.Expr, recv string, op token.Token) bool {
+	switch b := e.(type) {
+	case *ast.BinaryExpr:
+		if b.Op == token.LOR {
+			return orChainChecksNil(b.X, recv, op) || orChainChecksNil(b.Y, recv, op)
+		}
+		return isRecvNilCheck(b, recv, op)
+	case *ast.ParenExpr:
+		return orChainChecksNil(b.X, recv, op)
+	}
+	return false
+}
+
+// leftmostChecksNil accepts `recv != nil`, `recv != nil && ...`, and
+// `recv == nil || ...`: the nil check must be the leftmost operand, and
+// its operator must short-circuit the rest of the chain (!= under &&,
+// == under ||) so later operands never dereference a nil receiver.
+func leftmostChecksNil(e ast.Expr, recv string) bool {
+	var need token.Token
+	for {
+		b, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch b.Op {
+		case token.LAND:
+			if need == 0 {
+				need = token.NEQ
+			}
+			if need != token.NEQ {
+				return false
+			}
+			e = b.X
+		case token.LOR:
+			if need == 0 {
+				need = token.EQL
+			}
+			if need != token.EQL {
+				return false
+			}
+			e = b.X
+		case token.NEQ, token.EQL:
+			if need != 0 && b.Op != need {
+				return false
+			}
+			return isRecvNilCheck(b, recv, b.Op)
+		default:
+			return false
+		}
+	}
+}
+
+// isRecvNilCheck reports whether b is `recv op nil` (either operand order).
+func isRecvNilCheck(b *ast.BinaryExpr, recv string, op token.Token) bool {
+	if b.Op != op {
+		return false
+	}
+	return (isIdent(b.X, recv) && isIdent(b.Y, "nil")) ||
+		(isIdent(b.Y, recv) && isIdent(b.X, "nil"))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// StatsReg keeps the per-subsystem counter structs honest against the
+// telemetry registry's reflective flattener. For every exported struct
+// type whose name ends in "Stats" (outside package main and the telemetry
+// package itself) it enforces two contracts:
+//
+//  1. Shape: every field must be exported and either uint64 or a nested
+//     struct of the same shape — the exact set flattenCounters walks and
+//     telemetry.Sum/Sub merge. Anything else (an int, a time.Duration, an
+//     unexported field) is a counter that silently vanishes from
+//     snapshots.
+//  2. Registration: the type must actually reach the registry somewhere
+//     in the program — as a (possibly nested) RegisterCounters source or
+//     through a telemetry.Sum/Sub merge — otherwise its counters are
+//     collected but never exported.
+//
+// The check is whole-program: a Stats struct defined in one package is
+// typically registered from another (experiments wires nic, tcpip, and
+// netsim counters at world construction).
+var StatsReg = &Analyzer{
+	Name:       "statsreg",
+	Doc:        "Stats structs must be flattener-mergeable and registered with the telemetry registry",
+	RunProgram: runStatsReg,
+}
+
+type statsDef struct {
+	key   string // "pkgpath.TypeName"
+	named *types.Named
+	pos   token.Pos
+}
+
+func runStatsReg(prog *Program) error {
+	var defs []statsDef
+	registered := make(map[string]bool)
+
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg.Name() != "main" && pkg.Pkg.Name() != "telemetry" {
+			defs = append(defs, collectStatsDefs(pkg)...)
+		}
+		collectWitnesses(pkg, registered)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].key < defs[j].key })
+
+	// A registered struct registers its nested struct fields too: the
+	// flattener and Sum/Sub recurse into them.
+	closeOverFields(registered, defs, prog)
+
+	for _, d := range defs {
+		checkStatsShape(prog, d)
+		if !registered[d.key] {
+			prog.Reportf(d.pos,
+				"%s is never registered with the telemetry registry: pass it to Registry.RegisterCounters or merge it with telemetry.Sum/Sub, or its counters are invisible to snapshots",
+				d.named.Obj().Name())
+		}
+	}
+	return nil
+}
+
+// collectStatsDefs finds exported *Stats struct types defined in pkg.
+func collectStatsDefs(pkg *Package) []statsDef {
+	var defs []statsDef
+	for id, obj := range pkg.TypesInfo.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || !tn.Exported() || tn.Pkg() == nil || tn.Parent() != tn.Pkg().Scope() {
+			continue
+		}
+		if !hasStatsSuffix(tn.Name()) {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		defs = append(defs, statsDef{key: typeKey(named), named: named, pos: id.Pos()})
+	}
+	return defs
+}
+
+func hasStatsSuffix(name string) bool {
+	return len(name) >= len("Stats") && name[len(name)-len("Stats"):] == "Stats"
+}
+
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// collectWitnesses records every type that reaches the telemetry
+// machinery in pkg: RegisterCounters arguments and Sum/Sub instantiations.
+func collectWitnesses(pkg *Package, registered map[string]bool) {
+	// Generic instantiations: telemetry.Sum[T]/Sub[T].
+	for id, inst := range pkg.TypesInfo.Instances {
+		fn, ok := pkg.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "telemetry" {
+			continue
+		}
+		if fn.Name() != "Sum" && fn.Name() != "Sub" {
+			continue
+		}
+		if inst.TypeArgs.Len() == 1 {
+			if named, ok := inst.TypeArgs.At(0).(*types.Named); ok {
+				registered[typeKey(named)] = true
+			}
+		}
+	}
+	// RegisterCounters(prefix, &stats) calls.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "RegisterCounters" {
+				return true
+			}
+			fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "telemetry" {
+				return true
+			}
+			argType := pkg.TypesInfo.Types[call.Args[1]].Type
+			if ptr, ok := argType.(*types.Pointer); ok {
+				argType = ptr.Elem()
+			}
+			if named, ok := argType.(*types.Named); ok {
+				registered[typeKey(named)] = true
+			}
+			return true
+		})
+	}
+}
+
+// closeOverFields marks nested struct field types of registered structs
+// as registered, to a fixed point.
+func closeOverFields(registered map[string]bool, defs []statsDef, prog *Program) {
+	byKey := make(map[string]*types.Named, len(defs))
+	for _, d := range defs {
+		byKey[d.key] = d.named
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, named := range byKey {
+			if !registered[key] {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if !f.Exported() {
+					continue
+				}
+				if fn, ok := f.Type().(*types.Named); ok {
+					if _, isStruct := fn.Underlying().(*types.Struct); isStruct && !registered[typeKey(fn)] {
+						registered[typeKey(fn)] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkStatsShape validates that every field is something the flattener
+// exports: exported, and uint64 or a nested struct (recursively).
+func checkStatsShape(prog *Program, d statsDef) {
+	st := d.named.Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			prog.Reportf(f.Pos(),
+				"field %s of %s is unexported: the registry's reflective flattener skips it, so this counter never appears in snapshots",
+				f.Name(), d.named.Obj().Name())
+			continue
+		}
+		if !flattenable(f.Type(), make(map[types.Type]bool)) {
+			prog.Reportf(f.Pos(),
+				"field %s of %s has type %s, which the registry flattener and telemetry.Sum/Sub cannot merge: use uint64 or a nested struct of uint64s",
+				f.Name(), d.named.Obj().Name(), f.Type())
+		}
+	}
+}
+
+// flattenable mirrors telemetry.flattenCounters: uint64 leaves, structs
+// recursed into (unexported struct fields are skipped there, so they do
+// not make a type unflattenable — the unexported-field check above flags
+// them separately on Stats types themselves).
+func flattenable(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true
+	}
+	seen[t] = true
+	if basic, ok := t.Underlying().(*types.Basic); ok {
+		return basic.Kind() == types.Uint64
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !flattenable(f.Type(), seen) {
+			return false
+		}
+	}
+	return true
+}

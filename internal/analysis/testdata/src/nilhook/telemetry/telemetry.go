@@ -1,0 +1,95 @@
+// Package telemetry models the real telemetry package's nil-receiver
+// contract: a nil *Tracer/*Histogram/*Registry means "telemetry off" and
+// every exported pointer-receiver method must guard for it.
+package telemetry
+
+// Tracer mirrors the event recorder.
+type Tracer struct {
+	n int
+}
+
+// Emit is properly guarded.
+func (t *Tracer) Emit() {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// Bump is missing its guard.
+func (t *Tracer) Bump() { // want `\(\*Tracer\).Bump must begin with a nil-receiver guard`
+	t.n++
+}
+
+// Discard throws the receiver away, so it cannot guard it.
+func (_ *Tracer) Discard() { // want `\(\*Tracer\).Discard discards its receiver`
+	_ = 0
+}
+
+// emit is unexported: only reached behind a guard, exempt.
+func (t *Tracer) emit() {
+	t.n++
+}
+
+// Histogram mirrors the latency recorder.
+type Histogram struct {
+	name string
+	n    int
+}
+
+// Name guards with the if-form.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Enabled guards with the boolean-return form.
+func (h *Histogram) Enabled() bool {
+	return h != nil && h.n > 0
+}
+
+// Empty guards with the ==/|| boolean-return form.
+func (h *Histogram) Empty() bool {
+	return h == nil || h.n == 0
+}
+
+// Count dereferences an unchecked receiver.
+func (h *Histogram) Count() int { // want `\(\*Histogram\).Count must begin with a nil-receiver guard`
+	return h.n
+}
+
+// Copy has a value receiver: a nil pointer can never reach it.
+func (h Histogram) Copy() Histogram {
+	return h
+}
+
+// Registry mirrors the counter registry.
+type Registry struct {
+	m map[string]int
+}
+
+// Get combines the nil guard with another condition in one ||-chain.
+func (r *Registry) Get(k string) int {
+	if r == nil || k == "" {
+		return 0
+	}
+	return r.m[k]
+}
+
+// Len reads the receiver before any guard.
+func (r *Registry) Len() int { // want `\(\*Registry\).Len must begin with a nil-receiver guard`
+	n := len(r.m)
+	return n
+}
+
+// Clock is not one of the guarded types; its methods are unconstrained.
+type Clock struct {
+	t int
+}
+
+// Tick needs no guard: Clock is not a telemetry hook type.
+func (c *Clock) Tick() {
+	c.t++
+}

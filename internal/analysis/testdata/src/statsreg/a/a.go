@@ -1,0 +1,51 @@
+// Package a models a subsystem exporting counter structs; statsreg
+// checks their shape and that each one reaches the registry.
+package a
+
+import (
+	"time"
+
+	"statsreg/telemetry"
+)
+
+// GoodStats is registered below; all fields flatten.
+type GoodStats struct {
+	Hits   uint64
+	Nested InnerStats
+}
+
+// InnerStats reaches the registry as a nested field of GoodStats.
+type InnerStats struct {
+	Misses uint64
+}
+
+// OrphanStats is well-shaped but nothing ever registers it.
+type OrphanStats struct { // want `OrphanStats is never registered with the telemetry registry`
+	Hits uint64
+}
+
+// BadStats is registered, but two of its fields cannot flatten.
+type BadStats struct {
+	Hits    uint64
+	Elapsed time.Duration // want `field Elapsed of BadStats has type time.Duration, which the registry flattener and telemetry.Sum/Sub cannot merge`
+	hidden  uint64        // want `field hidden of BadStats is unexported`
+}
+
+// MergedStats reaches the registry through a telemetry.Sum merge.
+type MergedStats struct {
+	Hits uint64
+}
+
+// Summary is exported but does not end in Stats: out of scope.
+type Summary struct {
+	Elapsed time.Duration
+}
+
+func register(reg *telemetry.Registry, g *GoodStats, b *BadStats) {
+	reg.RegisterCounters("good", g)
+	reg.RegisterCounters("bad", b)
+}
+
+func merge(dst *MergedStats, src MergedStats) {
+	telemetry.Sum(dst, src)
+}

@@ -1,0 +1,16 @@
+// Package telemetry models the registry surface statsreg keys on:
+// RegisterCounters calls and Sum/Sub instantiations are the registration
+// witnesses.
+package telemetry
+
+// Registry mirrors the counter registry.
+type Registry struct{}
+
+// RegisterCounters mirrors the reflective source registration.
+func (r *Registry) RegisterCounters(prefix string, stats any) {}
+
+// Sum mirrors the generic counter merge.
+func Sum[T any](dst *T, src T) {}
+
+// Sub mirrors the generic counter delta.
+func Sub[T any](dst *T, src T) {}

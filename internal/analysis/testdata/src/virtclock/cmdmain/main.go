@@ -1,0 +1,13 @@
+// Command cmdmain models an entry point: package main legitimately reads
+// the wall clock for operator-facing output, so virtclock stays silent.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

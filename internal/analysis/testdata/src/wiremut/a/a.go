@@ -1,0 +1,24 @@
+// Package a models code handling serialized frames outside the wire
+// package: raw index writes break the embedded checksums.
+package a
+
+import "wiremut/wire"
+
+func mutate(f wire.Frame, b []byte) byte {
+	f[0] = 1     // want `raw write into a serialized wire.Frame`
+	f[2] |= 0x40 // want `raw write into a serialized wire.Frame`
+	f[3]++       // want `raw write into a serialized wire.Frame`
+
+	sub := f[4:8]
+	sub[0] = 9 // want `raw write into a serialized wire.Frame`
+
+	f[5], b[0] = b[0], f[5] // want `raw write into a serialized wire.Frame`
+
+	b[1] = 1 // a plain []byte is not a frame
+
+	raw := []byte(f)
+	raw[2] = 1 // explicit conversion is the greppable escape hatch
+
+	wire.SetCE(f) // helpers are the sanctioned mutation path
+	return f[0]   // reads are fine
+}

@@ -1,0 +1,15 @@
+// Package wire models the serialized-frame type and its checksum-aware
+// mutation helpers; in-package writes are the helpers themselves.
+package wire
+
+// Frame mirrors the serialized frame type.
+type Frame []byte
+
+// SetCE mirrors a checksum-repairing mutation helper.
+func SetCE(f Frame) bool {
+	if len(f) < 2 {
+		return false
+	}
+	f[1] |= 3 // in-package raw writes are exempt: this is the repair code
+	return true
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // BlockSize is the device's logical block size.
@@ -52,6 +53,15 @@ type Device struct {
 // New creates a device.
 func New(sim *netsim.Simulator, cfg Config) *Device {
 	return &Device{sim: sim, cfg: cfg, written: make(map[uint64][]byte)}
+}
+
+// RegisterTelemetry exports the device's counters under prefix (nil-safe
+// on both sides).
+func (d *Device) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if d == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &d.Stats)
 }
 
 // Pattern fills dst with the deterministic content of the block at lba

@@ -7,6 +7,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/offload"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 )
 
 // The DPI offload needs a host L5P with the autonomous-offload properties
@@ -201,6 +202,15 @@ type ScannerStats struct {
 // the NIC ops. sink may be nil when no offload is attached.
 func NewScanner(model *cycles.Model, ledger *cycles.Ledger, auto *Automaton, sink *Sink) *Scanner {
 	return &Scanner{model: model, ledger: ledger, auto: auto, sink: sink}
+}
+
+// RegisterTelemetry exports the scanner's counters under prefix (nil-safe
+// on both sides).
+func (s *Scanner) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &s.Stats)
 }
 
 // AttachEngine completes the offload wiring: the scanner answers the

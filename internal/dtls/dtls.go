@@ -18,6 +18,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/gcm"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -38,7 +39,7 @@ type Peer struct {
 	sim    *netsim.Simulator
 	model  *cycles.Model
 	ledger *cycles.Ledger
-	send   func(frame []byte)
+	send   func(frame wire.Frame)
 	local  wire.Addr
 
 	cipher  *gcm.Cipher
@@ -75,7 +76,7 @@ type Config struct {
 
 // NewPeer creates a peer; send transmits frames onto the link.
 func NewPeer(sim *netsim.Simulator, model *cycles.Model, ledger *cycles.Ledger,
-	send func([]byte), cfg Config) (*Peer, error) {
+	send func(wire.Frame), cfg Config) (*Peer, error) {
 	c, err := gcm.NewCached(cfg.Key)
 	if err != nil {
 		return nil, fmt.Errorf("dtls: %w", err)
@@ -85,6 +86,15 @@ func NewPeer(sim *netsim.Simulator, model *cycles.Model, ledger *cycles.Ledger,
 		local: cfg.Local, cipher: c, txIV: cfg.TxIV, rxIV: cfg.RxIV,
 		offload: cfg.Offload,
 	}, nil
+}
+
+// RegisterTelemetry exports the peer's counters under prefix (nil-safe on
+// both sides).
+func (p *Peer) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &p.Stats)
 }
 
 func nonceFor(iv [gcm.NonceSize]byte, epoch uint16, seq uint64) [gcm.NonceSize]byte {
@@ -151,7 +161,7 @@ func uint48(b []byte) uint64 {
 // DeliverFrame implements netsim.Endpoint: every datagram is
 // self-contained, so decryption needs no cross-packet state whatsoever —
 // loss and reordering cannot desynchronize anything (§7).
-func (p *Peer) DeliverFrame(frame []byte) {
+func (p *Peer) DeliverFrame(frame wire.Frame) {
 	d, err := wire.ParseUDP(frame)
 	if err != nil || d.Flow.Dst != p.local {
 		return

@@ -127,10 +127,10 @@ func TestTamperDetected(t *testing.T) {
 	var iv [12]byte
 	lg := &cycles.Ledger{}
 	var captured []byte
-	a, _ := NewPeer(sim, &model, lg, func(f []byte) { captured = f }, Config{
+	a, _ := NewPeer(sim, &model, lg, func(f wire.Frame) { captured = f }, Config{
 		Key: key, TxIV: iv, RxIV: iv, Local: wire.IPv4(10, 0, 0, 1, 1),
 	})
-	b, _ := NewPeer(sim, &model, lg, func([]byte) {}, Config{
+	b, _ := NewPeer(sim, &model, lg, func(wire.Frame) {}, Config{
 		Key: key, TxIV: iv, RxIV: iv, Local: wire.IPv4(10, 0, 0, 2, 2),
 	})
 	l.AttachA(a)

@@ -24,7 +24,7 @@ type Machine struct {
 
 // NewMachine builds a host. send transmits serialized frames onto a link.
 func NewMachine(sim *netsim.Simulator, model *cycles.Model, ip byte,
-	send func([]byte), nicCfg nic.Config) *Machine {
+	send func(wire.Frame), nicCfg nic.Config) *Machine {
 	m := &Machine{Ledger: &cycles.Ledger{}}
 	m.Stack = tcpip.NewStack(sim, [4]byte{10, 0, 0, ip}, model, m.Ledger)
 	nicCfg.Model = model
@@ -121,7 +121,7 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	cfg := o.NICCfg
 	cfg.Model = &w.Model
 	cfg.Ledger = w.Srv.Ledger
-	w.Srv.NIC = nic.New(w.Srv.Stack, func(frame []byte) {
+	w.Srv.NIC = nic.New(w.Srv.Stack, func(frame wire.Frame) {
 		pkt, err := wire.Parse(frame)
 		if err != nil {
 			return
@@ -211,6 +211,8 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	}
 	if tel != nil {
 		w.Host.EnableTelemetry(tel.Trace, tel.Reg, w.telPrefix+".srv.nvme")
+		w.Ctrl.RegisterTelemetry(tel.Reg, w.telPrefix+".tgt.nvme")
+		w.Dev.RegisterTelemetry(tel.Reg, w.telPrefix+".tgt.dev")
 	}
 	return w
 }

@@ -224,12 +224,15 @@ type HTTPResult struct {
 // RunHTTPC2 drives the page-cache configuration on a pair world.
 func RunHTTPC2(w *PairWorld, mode httpsim.Mode, conns, fileSize int, dur time.Duration) *HTTPResult {
 	_, srvTLS := TLSKeys(0)
-	httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
+	hs := httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
 		Mode:   mode,
 		TLSCfg: srvTLS,
 		Store:  httpsim.PageCacheStore{},
 		Dev:    w.Srv.NIC,
 	})
+	if tel != nil {
+		hs.RegisterTelemetry(tel.Reg, "http.srv")
+	}
 	res := driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
 	w.FlushTelemetry()
 	return res
@@ -239,12 +242,15 @@ func RunHTTPC2(w *PairWorld, mode httpsim.Mode, conns, fileSize int, dur time.Du
 // server fetches every file over NVMe-TCP).
 func RunHTTPC1(w *StorageWorld, mode httpsim.Mode, conns, fileSize int, dur time.Duration) *HTTPResult {
 	_, srvTLS := TLSKeys(0)
-	httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
+	hs := httpsim.NewServer(w.Srv.Stack, httpsim.ServerConfig{
 		Mode:   mode,
 		TLSCfg: srvTLS,
 		Store:  &httpsim.NVMeStore{Host: w.Host},
 		Dev:    w.Srv.NIC,
 	})
+	if tel != nil {
+		hs.RegisterTelemetry(tel.Reg, "http.srv")
+	}
 	res := driveHTTP(w.Sim, &w.Model, w.Gen, w.Srv, mode, conns, fileSize, dur)
 	w.FlushTelemetry()
 	return res
@@ -268,8 +274,12 @@ func driveHTTP(sim interface {
 		Files:       8,
 		Latency:     latencyHistogram("http.request_latency_ns"),
 	})
+	if tel != nil {
+		cl.RegisterTelemetry(tel.Reg, "http.cli")
+	}
 	sim.RunFor(3 * time.Millisecond)
 	base := cl.Stats
+	rttBase := cl.TotalRTT
 	before := srv.Ledger.Clone()
 	start := sim.Now()
 	sim.RunFor(dur)
@@ -280,14 +290,14 @@ func driveHTTP(sim interface {
 		Srv:      cycles.Diff(srv.Ledger, before),
 	}
 	if n := cl.Stats.Responses - base.Responses; n > 0 {
-		res.AvgRTT = (cl.Stats.TotalRTT - base.TotalRTT) / time.Duration(n)
+		res.AvgRTT = (cl.TotalRTT - rttBase) / time.Duration(n)
 	}
 	return res
 }
 
 // RunKV drives the Redis-on-Flash GET workload on a storage world.
 func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult {
-	kvsim.NewServer(w.Srv.Stack, 6379, &kvsim.OffloadDB{Host: w.Host, ValueSize: valueSize})
+	ks := kvsim.NewServer(w.Srv.Stack, 6379, &kvsim.OffloadDB{Host: w.Host, ValueSize: valueSize})
 	cl := kvsim.NewClient(w.Gen.Stack, kvsim.ClientConfig{
 		Server:      wire.Addr{IP: w.Srv.Stack.IP(), Port: 6379},
 		Connections: conns,
@@ -295,8 +305,13 @@ func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult
 		ValueSize:   valueSize,
 		Latency:     latencyHistogram("kv.request_latency_ns"),
 	})
+	if tel != nil {
+		ks.RegisterTelemetry(tel.Reg, "kv.srv")
+		cl.RegisterTelemetry(tel.Reg, "kv.cli")
+	}
 	w.Sim.RunFor(3 * time.Millisecond)
 	base := cl.Stats
+	rttBase := cl.TotalRTT
 	before := w.Srv.Ledger.Clone()
 	start := w.Sim.Now()
 	w.Sim.RunFor(dur)
@@ -307,7 +322,7 @@ func RunKV(w *StorageWorld, conns, valueSize int, dur time.Duration) *HTTPResult
 		Srv:      cycles.Diff(w.Srv.Ledger, before),
 	}
 	if n := cl.Stats.Responses - base.Responses; n > 0 {
-		res.AvgRTT = (cl.Stats.TotalRTT - base.TotalRTT) / time.Duration(n)
+		res.AvgRTT = (cl.TotalRTT - rttBase) / time.Duration(n)
 	}
 	w.FlushTelemetry()
 	return res

@@ -165,6 +165,15 @@ func NewServer(stack *tcpip.Stack, cfg ServerConfig) *Server {
 	return s
 }
 
+// RegisterTelemetry exports the server's counters under prefix (nil-safe
+// on both sides).
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &s.Stats)
+}
+
 func (s *Server) accept(sock *tcpip.Socket) {
 	s.Stats.Connections++
 	st, err := s.wrap(sock)
@@ -303,13 +312,14 @@ type ClientConfig struct {
 	Latency *telemetry.Histogram
 }
 
-// ClientStats aggregates load-generator results.
+// ClientStats aggregates load-generator results. Every field is a
+// uint64 counter so the telemetry registry's reflective flattener can
+// export it (statsreg invariant); round-trip accumulators live on
+// Client directly.
 type ClientStats struct {
 	Responses   uint64
 	Bytes       uint64
 	Errors      uint64
-	TotalRTT    time.Duration // sum of per-request round trips
-	MaxRTT      time.Duration
 	VerifyFails uint64
 }
 
@@ -320,6 +330,11 @@ type Client struct {
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats ClientStats
+	// TotalRTT sums per-request round trips and MaxRTT tracks the worst
+	// one. They are durations, not counters, so they sit outside Stats
+	// (the registry cannot merge time.Duration); treat as read-only.
+	TotalRTT time.Duration
+	MaxRTT   time.Duration
 }
 
 // NewClient creates the generator and opens its connections.
@@ -335,6 +350,15 @@ func NewClient(stack *tcpip.Stack, cfg ClientConfig) *Client {
 		})
 	}
 	return c
+}
+
+// RegisterTelemetry exports the client's counters under prefix (nil-safe
+// on both sides).
+func (c *Client) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &c.Stats)
 }
 
 func (c *Client) startConn(sock *tcpip.Socket, connID uint64) {
@@ -428,10 +452,10 @@ func (c *clientConn) finish() {
 	cli.Stats.Responses++
 	cli.Stats.Bytes += uint64(c.expect)
 	rtt := cli.stack.Sim().Now() - c.issuedAt
-	cli.Stats.TotalRTT += rtt
+	cli.TotalRTT += rtt
 	cli.cfg.Latency.Record(int64(rtt))
-	if rtt > cli.Stats.MaxRTT {
-		cli.Stats.MaxRTT = rtt
+	if rtt > cli.MaxRTT {
+		cli.MaxRTT = rtt
 	}
 	if cli.cfg.Verify {
 		want := make([]byte, len(c.verifyBuf))

@@ -22,7 +22,7 @@ type machine struct {
 	ledger *cycles.Ledger
 }
 
-func newMachine(sim *netsim.Simulator, model *cycles.Model, ip byte, send func([]byte)) *machine {
+func newMachine(sim *netsim.Simulator, model *cycles.Model, ip byte, send func(wire.Frame)) *machine {
 	m := &machine{ledger: &cycles.Ledger{}}
 	m.stack = tcpip.NewStack(sim, [4]byte{10, 0, 0, ip}, model, m.ledger)
 	m.nic = nic.New(m.stack, send, nic.Config{Model: model, Ledger: m.ledger})
@@ -139,7 +139,7 @@ func c1World(t *testing.T, mode Mode, nvmeOffload bool) (*netsim.Simulator, *mac
 	// The server machine has two ports: one facing the generator, one
 	// facing the storage target (the paper's testbed uses two machines
 	// with the drive on the generator; topology here is equivalent).
-	srvNIC := nic.New(srv.stack, func(frame []byte) {
+	srvNIC := nic.New(srv.stack, func(frame wire.Frame) {
 		// Route by destination IP octet.
 		pkt, err := wire.Parse(frame)
 		if err != nil {

@@ -90,6 +90,15 @@ func NewServer(stack *tcpip.Stack, port uint16, db *OffloadDB) *Server {
 	return s
 }
 
+// RegisterTelemetry exports the server's counters under prefix (nil-safe
+// on both sides).
+func (s *Server) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &s.Stats)
+}
+
 func (s *Server) accept(sock *tcpip.Socket) {
 	s.Stats.Connections++
 	st := stream.NewSocketTransport(sock)
@@ -165,12 +174,13 @@ func (c *serverConn) pump() {
 	}
 }
 
-// ClientStats aggregates driver results.
+// ClientStats aggregates driver results. Only uint64 counters live
+// here so the telemetry registry can flatten the struct (statsreg
+// invariant); the RTT accumulator sits on Client.
 type ClientStats struct {
 	Responses   uint64
 	Bytes       uint64
 	Errors      uint64
-	TotalRTT    time.Duration
 	VerifyFails uint64
 }
 
@@ -194,6 +204,10 @@ type Client struct {
 
 	// Stats is exported for experiments; treat as read-only.
 	Stats ClientStats
+	// TotalRTT sums per-GET round trips. It is a duration, not a
+	// counter, so it sits outside Stats (the registry cannot merge
+	// time.Duration); treat as read-only.
+	TotalRTT time.Duration
 }
 
 // NewClient creates the driver and opens its connections.
@@ -212,6 +226,15 @@ func NewClient(stack *tcpip.Stack, cfg ClientConfig) *Client {
 		})
 	}
 	return c
+}
+
+// RegisterTelemetry exports the client's counters under prefix (nil-safe
+// on both sides).
+func (c *Client) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &c.Stats)
 }
 
 type clientConn struct {
@@ -276,7 +299,7 @@ func (c *clientConn) finish(val []byte) {
 	cli.Stats.Responses++
 	cli.Stats.Bytes += uint64(len(val))
 	rtt := cli.stack.Sim().Now() - c.issuedAt
-	cli.Stats.TotalRTT += rtt
+	cli.TotalRTT += rtt
 	cli.cfg.Latency.Record(int64(rtt))
 	if cli.cfg.Verify {
 		want := make([]byte, len(val))

@@ -37,7 +37,7 @@ func newWorld(t *testing.T, valueSize int, nvmeOffload bool) *world {
 
 	w.srvLg = &cycles.Ledger{}
 	w.srvStk = tcpip.NewStack(w.sim, [4]byte{10, 0, 0, 2}, &model, w.srvLg)
-	srvNIC := nic.New(w.srvStk, func(frame []byte) {
+	srvNIC := nic.New(w.srvStk, func(frame wire.Frame) {
 		pkt, err := wire.Parse(frame)
 		if err != nil {
 			return

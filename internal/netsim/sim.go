@@ -192,7 +192,7 @@ type FaultConfig struct {
 	// deterministic. It reports whether it actually changed anything
 	// (frames with nothing to corrupt — e.g. pure ACKs for a payload
 	// corrupter — pass through unchanged and uncounted).
-	Corrupter func(rng *rand.Rand, frame []byte) bool
+	Corrupter func(rng *rand.Rand, frame wire.Frame) bool
 	// Burst, when set, adds a Gilbert–Elliott two-state burst-loss channel
 	// on top of LossProb.
 	Burst *GilbertElliott
@@ -262,14 +262,14 @@ type LinkConfig struct {
 
 // Endpoint consumes frames arriving from a link.
 type Endpoint interface {
-	DeliverFrame(frame []byte)
+	DeliverFrame(frame wire.Frame)
 }
 
 // EndpointFunc adapts a function to the Endpoint interface.
-type EndpointFunc func(frame []byte)
+type EndpointFunc func(frame wire.Frame)
 
 // DeliverFrame calls f.
-func (f EndpointFunc) DeliverFrame(frame []byte) { f(frame) }
+func (f EndpointFunc) DeliverFrame(frame wire.Frame) { f(frame) }
 
 // Link is a duplex point-to-point link between endpoints A and B.
 type Link struct {
@@ -304,10 +304,10 @@ func (l *Link) AttachA(e Endpoint) { l.a = e }
 func (l *Link) AttachB(e Endpoint) { l.b = e }
 
 // SendAtoB transmits a frame from A toward B.
-func (l *Link) SendAtoB(frame []byte) { l.send(0, frame) }
+func (l *Link) SendAtoB(frame wire.Frame) { l.send(0, frame) }
 
 // SendBtoA transmits a frame from B toward A.
-func (l *Link) SendBtoA(frame []byte) { l.send(1, frame) }
+func (l *Link) SendBtoA(frame wire.Frame) { l.send(1, frame) }
 
 // SetFaultsAtoB replaces the A→B impairments mid-run. Chaos harnesses use
 // this to keep connection establishment clean and arm faults only for the
@@ -360,7 +360,7 @@ func (l *Link) EnableTrace(tr *telemetry.Tracer, name string) {
 	l.tids[1] = name + ".b>a"
 }
 
-func (l *Link) send(dir int, frame []byte) {
+func (l *Link) send(dir int, frame wire.Frame) {
 	d := &l.dirs[dir]
 	fc := l.cfg.AtoB
 	dst := l.b
@@ -445,13 +445,12 @@ func (l *Link) send(dir int, frame []byte) {
 	// Corruption damages a private copy so the sender's retransmit buffers
 	// (and a later duplicate of the same frame) are unaffected.
 	if fc.CorruptProb > 0 && d.rng.Float64() < fc.CorruptProb {
-		dam := append([]byte(nil), frame...)
+		dam := frame.Clone()
 		changed := false
 		if fc.Corrupter != nil {
 			changed = fc.Corrupter(d.rng, dam)
-		} else if len(dam) > 0 {
-			dam[d.rng.Intn(len(dam))] ^= 1 << d.rng.Intn(8)
-			changed = true
+		} else {
+			changed = wire.FlipRandomBit(d.rng, dam)
 		}
 		if changed {
 			d.stats.Corrupted++
@@ -465,7 +464,7 @@ func (l *Link) send(dir int, frame []byte) {
 	// through and still consume the draw, keeping the sequence a pure
 	// function of the config.
 	if fc.CEMarkProb > 0 && d.rng.Float64() < fc.CEMarkProb {
-		marked := append([]byte(nil), frame...)
+		marked := frame.Clone()
 		if wire.SetCE(marked) {
 			d.stats.CEMarked++
 			l.tracer.Instant("net", "pkt.ce", l.tids[dir])
@@ -481,7 +480,7 @@ func (l *Link) send(dir int, frame []byte) {
 	l.sim.At(arrive, deliver)
 	if fc.DupProb > 0 && d.rng.Float64() < fc.DupProb {
 		d.stats.Duplicated++
-		dup := append([]byte(nil), frame...)
+		dup := frame.Clone()
 		l.sim.At(arrive+maxDuration(serialize, time.Microsecond), func() {
 			d.stats.Delivered++
 			d.stats.Bytes += uint64(len(dup))

@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"repro/internal/wire"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -90,7 +92,7 @@ func TestNestedScheduling(t *testing.T) {
 }
 
 func collect(frames *[][]byte) Endpoint {
-	return EndpointFunc(func(f []byte) { *frames = append(*frames, f) })
+	return EndpointFunc(func(f wire.Frame) { *frames = append(*frames, f) })
 }
 
 func TestLinkDelivery(t *testing.T) {
@@ -98,7 +100,7 @@ func TestLinkDelivery(t *testing.T) {
 	l := NewLink(sim, LinkConfig{Latency: 5 * time.Microsecond})
 	var got [][]byte
 	l.AttachB(collect(&got))
-	l.AttachA(EndpointFunc(func([]byte) { t.Error("unexpected delivery to A") }))
+	l.AttachA(EndpointFunc(func(wire.Frame) { t.Error("unexpected delivery to A") }))
 	l.SendAtoB([]byte("one"))
 	l.SendAtoB([]byte("two"))
 	sim.Run(0)
@@ -115,7 +117,7 @@ func TestLinkSerializationDelay(t *testing.T) {
 	// 1 Gbps: a 1250-byte frame takes 10µs to serialize.
 	l := NewLink(sim, LinkConfig{Gbps: 1})
 	var arrivals []time.Duration
-	l.AttachB(EndpointFunc(func([]byte) { arrivals = append(arrivals, sim.Now()) }))
+	l.AttachB(EndpointFunc(func(wire.Frame) { arrivals = append(arrivals, sim.Now()) }))
 	frame := make([]byte, 1250)
 	l.SendAtoB(frame)
 	l.SendAtoB(frame)
@@ -135,7 +137,7 @@ func TestLinkLoss(t *testing.T) {
 	sim := New()
 	l := NewLink(sim, LinkConfig{AtoB: FaultConfig{LossProb: 0.3, Seed: 42}})
 	n := 0
-	l.AttachB(EndpointFunc(func([]byte) { n++ }))
+	l.AttachB(EndpointFunc(func(wire.Frame) { n++ }))
 	const sent = 10000
 	for i := 0; i < sent; i++ {
 		l.SendAtoB([]byte{1})
@@ -158,7 +160,7 @@ func TestLinkReorder(t *testing.T) {
 		AtoB: FaultConfig{ReorderProb: 0.2, Seed: 7},
 	})
 	var got []byte
-	l.AttachB(EndpointFunc(func(f []byte) { got = append(got, f[0]) }))
+	l.AttachB(EndpointFunc(func(f wire.Frame) { got = append(got, f[0]) }))
 	for i := 0; i < 200; i++ {
 		l.SendAtoB([]byte{byte(i)})
 	}
@@ -184,7 +186,7 @@ func TestLinkDuplication(t *testing.T) {
 	sim := New()
 	l := NewLink(sim, LinkConfig{AtoB: FaultConfig{DupProb: 0.5, Seed: 9}})
 	n := 0
-	l.AttachB(EndpointFunc(func([]byte) { n++ }))
+	l.AttachB(EndpointFunc(func(wire.Frame) { n++ }))
 	for i := 0; i < 1000; i++ {
 		l.SendAtoB([]byte{byte(i)})
 	}
@@ -206,7 +208,7 @@ func TestDeterminism(t *testing.T) {
 			AtoB: FaultConfig{LossProb: 0.1, ReorderProb: 0.1, DupProb: 0.05, Seed: 123},
 		})
 		var got []byte
-		l.AttachB(EndpointFunc(func(f []byte) { got = append(got, f[0]) }))
+		l.AttachB(EndpointFunc(func(f wire.Frame) { got = append(got, f[0]) }))
 		for i := 0; i < 500; i++ {
 			l.SendAtoB([]byte{byte(i)})
 		}

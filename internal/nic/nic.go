@@ -74,7 +74,7 @@ type Stats struct {
 type NIC struct {
 	cfg   Config
 	stack *tcpip.Stack
-	send  func(frame []byte)
+	send  func(frame wire.Frame)
 
 	tx map[wire.FlowID][]*offload.TxEngine
 	rx map[wire.FlowID][]*offload.RxEngine
@@ -104,7 +104,7 @@ type cacheKey struct {
 // New creates a NIC, wires it as the stack's device, and returns it. The
 // send function transmits a serialized frame onto the link (the NIC is also
 // a netsim.Endpoint for arriving frames).
-func New(stack *tcpip.Stack, send func(frame []byte), cfg Config) *NIC {
+func New(stack *tcpip.Stack, send func(frame wire.Frame), cfg Config) *NIC {
 	if cfg.CtxBytes == 0 {
 		cfg.CtxBytes = 208
 	}
@@ -227,7 +227,7 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 // DeliverFrame implements netsim.Endpoint: parse, verify checksums, run
 // receive offload engines, and hand the packet with its verdict flags to
 // the stack.
-func (n *NIC) DeliverFrame(frame []byte) {
+func (n *NIC) DeliverFrame(frame wire.Frame) {
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
 	if n.stallDrop() {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/stream"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 )
 
 // Read commands carry the block count in the upper bits of the Offset
@@ -75,6 +76,15 @@ func NewController(tr stream.Stream, dev *blockdev.Device) *Controller {
 	tr.SetOnData(c.onData)
 	tr.SetOnDrain(func() { c.pump() })
 	return c
+}
+
+// RegisterTelemetry exports the controller's counters under prefix
+// (nil-safe on both sides).
+func (c *Controller) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &c.Stats)
 }
 
 // EnableTxOffload installs the transmit data-digest offload for response

@@ -119,6 +119,7 @@ func (h *Host) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, ti
 	h.traceTid = tid
 	if reg != nil {
 		h.latHist = reg.Histogram("nvme.request_latency_ns")
+		reg.RegisterCounters(tid, &h.Stats)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/crc32c"
 	"repro/internal/cycles"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -58,7 +59,7 @@ type Stats struct {
 type Peer struct {
 	model  *cycles.Model
 	ledger *cycles.Ledger
-	send   func(frame []byte)
+	send   func(frame wire.Frame)
 	local  wire.Addr
 
 	txTSN uint32
@@ -84,9 +85,18 @@ type Peer struct {
 }
 
 // NewPeer creates a peer bound to local; send transmits frames.
-func NewPeer(model *cycles.Model, ledger *cycles.Ledger, send func([]byte),
+func NewPeer(model *cycles.Model, ledger *cycles.Ledger, send func(wire.Frame),
 	local wire.Addr, offload bool) *Peer {
 	return &Peer{model: model, ledger: ledger, send: send, local: local, offload: offload}
+}
+
+// RegisterTelemetry exports the peer's counters under prefix (nil-safe on
+// both sides).
+func (p *Peer) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounters(prefix, &p.Stats)
 }
 
 var _ netsim.Endpoint = (*Peer)(nil)
@@ -136,7 +146,7 @@ func (p *Peer) Send(remote wire.Addr, msg []byte) {
 
 // DeliverFrame implements netsim.Endpoint: the NIC-side digest engine runs
 // first (when offloaded), then software reassembly.
-func (p *Peer) DeliverFrame(frame []byte) {
+func (p *Peer) DeliverFrame(frame wire.Frame) {
 	d, err := wire.ParseUDP(frame)
 	if err != nil || d.Flow.Dst != p.local {
 		return

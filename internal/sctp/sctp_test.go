@@ -141,9 +141,9 @@ func TestCorruptDigestRejected(t *testing.T) {
 	l := netsim.NewLink(sim, netsim.LinkConfig{})
 	var captured [][]byte
 	lg := &cycles.Ledger{}
-	a := NewPeer(&model, lg, func(f []byte) { captured = append(captured, f) },
+	a := NewPeer(&model, lg, func(f wire.Frame) { captured = append(captured, f) },
 		wire.IPv4(10, 0, 0, 1, 9), false)
-	b := NewPeer(&model, lg, func([]byte) {}, wire.IPv4(10, 0, 0, 2, 9), false)
+	b := NewPeer(&model, lg, func(wire.Frame) {}, wire.IPv4(10, 0, 0, 2, 9), false)
 	l.AttachA(a)
 	l.AttachB(b)
 	a.Send(b.local, []byte("message"))

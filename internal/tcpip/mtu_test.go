@@ -25,7 +25,7 @@ func TestRetransmitAfterMSSShrink(t *testing.T) {
 	flapAt := 400 * time.Microsecond
 
 	var oversized, fullBefore int
-	dev := &rawDevice{stack: p.a, send: func(frame []byte) {
+	dev := &rawDevice{stack: p.a, send: func(frame wire.Frame) {
 		if len(frame) > newMTU+wire.EthernetHeaderLen {
 			if p.sim.Now() > flapAt {
 				oversized++
@@ -79,7 +79,7 @@ func TestMSSGrowUsesNewCut(t *testing.T) {
 	growAt := 300 * time.Microsecond
 
 	var bigFrames int
-	dev := &rawDevice{stack: p.a, send: func(frame []byte) {
+	dev := &rawDevice{stack: p.a, send: func(frame wire.Frame) {
 		if len(frame) > smallMTU+wire.EthernetHeaderLen {
 			bigFrames++
 		}

@@ -16,12 +16,12 @@ import (
 // onto the link and parses incoming frames for the stack.
 type rawDevice struct {
 	stack *Stack
-	send  func(frame []byte)
+	send  func(frame wire.Frame)
 }
 
 func (d *rawDevice) Transmit(pkt *wire.Packet) { d.send(pkt.Marshal()) }
 
-func (d *rawDevice) DeliverFrame(frame []byte) {
+func (d *rawDevice) DeliverFrame(frame wire.Frame) {
 	pkt, err := wire.Parse(frame)
 	if err != nil {
 		panic(err)

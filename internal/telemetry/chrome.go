@@ -16,6 +16,9 @@ import (
 // formatting — a fixed-seed run serializes byte-identically (golden-
 // tested in internal/experiments).
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
 

@@ -31,8 +31,13 @@ func NewHistogram(name string) *Histogram {
 	return &Histogram{name: name}
 }
 
-// Name returns the metric name.
-func (h *Histogram) Name() string { return h.name }
+// Name returns the metric name ("" when disabled).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
 
 // Record adds one observation. Nil-safe: instrumented code can hold a nil
 // *Histogram when telemetry is disabled.
@@ -158,8 +163,11 @@ type HistSnap struct {
 	P99, Max      int64
 }
 
-// Snap summarizes the histogram.
+// Snap summarizes the histogram (zero value when disabled).
 func (h *Histogram) Snap() HistSnap {
+	if h == nil {
+		return HistSnap{}
+	}
 	return HistSnap{
 		Name:  h.name,
 		Count: h.count,

@@ -74,10 +74,10 @@ type Snapshot struct {
 
 // Snapshot flattens the registry now.
 func (r *Registry) Snapshot() *Snapshot {
-	s := &Snapshot{}
 	if r == nil {
-		return s
+		return &Snapshot{}
 	}
+	s := &Snapshot{}
 	acc := make(map[string]uint64)
 	var order []string
 	for _, src := range r.counters {

@@ -16,7 +16,7 @@ import (
 // It reports whether the frame carried payload to corrupt; frames without
 // TCP payload (pure ACKs, handshakes) are left untouched. Randomness comes
 // only from rng, keeping seeded runs deterministic.
-func CorruptPayload(rng *rand.Rand, frame []byte) bool {
+func CorruptPayload(rng *rand.Rand, frame Frame) bool {
 	if len(frame) < FrameOverhead {
 		return false
 	}

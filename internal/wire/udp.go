@@ -22,8 +22,8 @@ type Datagram struct {
 
 // Marshal serializes the datagram into an Ethernet/IPv4/UDP frame with
 // valid checksums.
-func (d *Datagram) Marshal() []byte {
-	buf := make([]byte, UDPFrameOverhead+len(d.Payload))
+func (d *Datagram) Marshal() Frame {
+	buf := make(Frame, UDPFrameOverhead+len(d.Payload))
 	eth := buf[:EthernetHeaderLen]
 	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
 	udp := buf[EthernetHeaderLen+IPv4HeaderLen : UDPFrameOverhead]
@@ -53,7 +53,7 @@ func (d *Datagram) Marshal() []byte {
 }
 
 // ParseUDP decodes and validates a frame produced by (*Datagram).Marshal.
-func ParseUDP(buf []byte) (*Datagram, error) {
+func ParseUDP(buf Frame) (*Datagram, error) {
 	if len(buf) < UDPFrameOverhead {
 		return nil, ErrTruncated
 	}

@@ -141,8 +141,8 @@ func (p *Packet) String() string {
 
 // Marshal serializes the packet into an Ethernet/IPv4/TCP frame with valid
 // IP and TCP checksums.
-func (p *Packet) Marshal() []byte {
-	buf := make([]byte, FrameOverhead+len(p.Payload))
+func (p *Packet) Marshal() Frame {
+	buf := make(Frame, FrameOverhead+len(p.Payload))
 	eth := buf[:EthernetHeaderLen]
 	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
 	tcp := buf[EthernetHeaderLen+IPv4HeaderLen : FrameOverhead]
@@ -191,7 +191,7 @@ var (
 
 // Parse decodes and validates a frame produced by Marshal. The returned
 // packet's Payload aliases buf.
-func Parse(buf []byte) (*Packet, error) {
+func Parse(buf Frame) (*Packet, error) {
 	if len(buf) < FrameOverhead {
 		return nil, ErrTruncated
 	}
@@ -247,7 +247,7 @@ func Parse(buf []byte) (*Packet, error) {
 // place, repairing the IPv4 header checksum, the way an ECN-marking router
 // does. Frames that are not ECN-capable (ECT(0)/ECT(1)) are left untouched;
 // the return value reports whether the mark was applied.
-func SetCE(frame []byte) bool {
+func SetCE(frame Frame) bool {
 	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
 		return false
 	}
