@@ -33,11 +33,14 @@ lint:
 soak:
 	$(GO) test -race -count=1 -timeout 30m -run 'OffloadEquivalence' ./internal/experiments/
 
-# A few seconds of coverage-guided fuzzing per target: TCP reassembly and the
-# RxEngine header parser/search path. `go test -fuzz` takes one target per
-# invocation, hence the separate lines.
+# A few seconds of coverage-guided fuzzing per target: TCP reassembly, the
+# SACK option codec and scoreboard, and the RxEngine header parser/search
+# path. `go test -fuzz` takes one target per invocation, hence the separate
+# lines.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzReassembly$$' -fuzztime 5s ./internal/tcpip/
+	$(GO) test -run '^$$' -fuzz '^FuzzScoreboard$$' -fuzztime 5s ./internal/tcpip/
+	$(GO) test -run '^$$' -fuzz '^FuzzSackOption$$' -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz '^FuzzRxEngine$$' -fuzztime 5s ./internal/offload/
 	$(GO) test -run '^$$' -fuzz '^FuzzRxSearchGarbage$$' -fuzztime 5s ./internal/offload/
 
@@ -55,7 +58,7 @@ alloc-check:
 # One data point on the perf trajectory: every paper benchmark once, in
 # test2json form for machine diffing across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_3.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_6.json
 
 fmt:
 	gofmt -l internal cmd

@@ -126,3 +126,8 @@ func BenchmarkECN(b *testing.B) { runExperiment(b, "ecn") }
 // BenchmarkMTUFlap runs the mid-flow MTU schedules under loss: queued
 // retransmissions re-cut at the new MSS, engines resume across the flap.
 func BenchmarkMTUFlap(b *testing.B) { runExperiment(b, "mtuflap") }
+
+// BenchmarkRecovery runs the SACK/DSACK loss-recovery sweep: episode
+// durations with and without the scoreboard under both congestion
+// controllers, and the offload re-lock rate the faster repair buys.
+func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }

@@ -10,13 +10,22 @@ import (
 
 // GoodStats is registered below; all fields flatten.
 type GoodStats struct {
-	Hits   uint64
-	Nested InnerStats
+	Hits     uint64
+	Nested   InnerStats
+	Recovery RecoveryStats
 }
 
 // InnerStats reaches the registry as a nested field of GoodStats.
 type InnerStats struct {
 	Misses uint64
+}
+
+// RecoveryStats models the loss-recovery counter block: several sibling
+// uint64 counters all reaching the registry through one registered parent.
+type RecoveryStats struct {
+	SACKBlocksRcvd uint64
+	HolesRetx      uint64
+	SpuriousRTOs   uint64
 }
 
 // OrphanStats is well-shaped but nothing ever registers it.

@@ -30,3 +30,15 @@ func seededRand() int {
 	r := rand.New(rand.NewSource(42)) // constructors are the approved path
 	return r.Intn(10)                 // methods on a seeded *rand.Rand are fine
 }
+
+// lastRescue holds a virtual timestamp; comparing stored sim.Now() values
+// is the approved idiom for rate-limit gates (the SACK rescue timer).
+var lastRescue time.Duration
+
+func rescueGate(now, srtt time.Duration) bool {
+	if now-lastRescue < srtt {
+		return false
+	}
+	lastRescue = now
+	return true
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/offload"
 	"repro/internal/tcpip"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -88,6 +89,12 @@ type ChaosFaults struct {
 	// every stack's segmentation MSS in the same virtual instant (a PMTUD
 	// verdict, minus the lost-frame round trip).
 	MTUFlaps []MTUFlap
+
+	// SACK enables RFC 2018/2883 loss recovery on every stack in the world
+	// before connections open; CC selects the congestion controller
+	// ("newreno", "cubic"; empty keeps the default NewReno).
+	SACK bool
+	CC   string
 }
 
 // MTUFlap is one scheduled path-MTU change.
@@ -212,6 +219,41 @@ type ChaosResult struct {
 	// promptly — the regression the mtuflap scenario pins).
 	Resegments uint64
 	MTUDrops   uint64
+
+	// Loss-recovery outcomes, harvested from the data sender's stack, plus
+	// the percentiles of its recovery-episode-duration histogram
+	// (detection → cumulative ACK covering the pre-loss send frontier).
+	Timeouts         uint64
+	FastRetx         uint64
+	SACKBlocksRcvd   uint64
+	DSACKsRcvd       uint64
+	HolesRetx        uint64
+	SpuriousRTOs     uint64
+	Undos            uint64
+	RecoveryEpisodes uint64
+	RecoveryP50      time.Duration
+	RecoveryP90      time.Duration
+	RecoveryP99      time.Duration
+
+	// EngRelocks counts deterministic boundary re-locks across the
+	// receiving engines (gap closed without a resync round trip).
+	EngRelocks uint64
+}
+
+// harvestRecovery folds the data sender's loss-recovery counters and its
+// episode-duration histogram into the result.
+func (r *ChaosResult) harvestRecovery(st *tcpip.Stack, hist *telemetry.Histogram) {
+	r.Timeouts = st.Stats.Timeouts
+	r.FastRetx = st.Stats.FastRetransmits
+	r.SACKBlocksRcvd = st.Stats.SACKBlocksRcvd
+	r.DSACKsRcvd = st.Stats.DSACKsRcvd
+	r.HolesRetx = st.Stats.HolesRetransmitted
+	r.SpuriousRTOs = st.Stats.SpuriousRTOs
+	r.Undos = st.Stats.Undos
+	r.RecoveryEpisodes = st.Stats.RecoveryEpisodes
+	r.RecoveryP50 = time.Duration(hist.Quantile(0.50))
+	r.RecoveryP90 = time.Duration(hist.Quantile(0.90))
+	r.RecoveryP99 = time.Duration(hist.Quantile(0.99))
 }
 
 // chaosRecv tracks one receiving connection's position in the pattern.
@@ -245,6 +287,19 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 		w.Gen.Stack.EnableECN()
 		w.Srv.Stack.EnableECN()
 	}
+	if f.SACK {
+		w.Gen.Stack.EnableSACK()
+		w.Srv.Stack.EnableSACK()
+	}
+	if f.CC != "" {
+		for _, st := range []*tcpip.Stack{w.Gen.Stack, w.Srv.Stack} {
+			if err := st.SetCongestionControl(f.CC); err != nil {
+				panic(err)
+			}
+		}
+	}
+	recHist := telemetry.NewHistogram("tcp.recovery_episode_ns")
+	w.Gen.Stack.SetRecoveryHistogram(recHist)
 
 	res := &ChaosResult{Mode: mode.String()}
 	cliTLS, srvTLS := TLSKeys(recordSize)
@@ -358,8 +413,10 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 			res.EngCorruptionDrops += e.Stats.CorruptionDrops
 			res.ResyncDropped += e.Stats.ResyncDropped
 			res.ForcedRejects += e.Stats.ForcedRejects
+			res.EngRelocks += e.Stats.Relocks
 		}
 	}
+	res.harvestRecovery(w.Gen.Stack, recHist)
 	res.NIC = w.Srv.NIC.Stats
 	res.CEMarked = w.Link.StatsAtoB().CEMarked
 	res.CEReceived = w.Srv.Stack.Stats.CEReceived
@@ -382,9 +439,15 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 		NVMePlace: offloaded,
 		NVMeCRC:   offloaded,
 		ECN:       f.ECN,
+		SACK:      f.SACK,
+		CC:        f.CC,
 	})
 	w.Model.MinRTOMicros = 2000
 	w.Model.MaxRTOMicros = 500000
+	// Read responses flow target→server: the target's stack is the data
+	// sender whose recovery behaviour the result reports.
+	recHist := telemetry.NewHistogram("tcp.recovery_episode_ns")
+	w.Tgt.Stack.SetRecoveryHistogram(recHist)
 
 	mode := "nvme"
 	if offloaded {
@@ -447,7 +510,9 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 		res.EngCorruptionDrops = e.Stats.CorruptionDrops
 		res.ResyncDropped = e.Stats.ResyncDropped
 		res.ForcedRejects = e.Stats.ForcedRejects
+		res.EngRelocks = e.Stats.Relocks
 	}
+	res.harvestRecovery(w.Tgt.Stack, recHist)
 	res.DigestErrors = w.Host.Stats.DigestErrors
 	res.FramingErrors = w.Host.Stats.FramingErrors + w.Ctrl.Stats.FramingErrors
 	res.NIC = w.Srv.NIC.Stats

@@ -37,9 +37,17 @@ func equivSchedule(seed int64) ChaosFaults {
 	f := ChaosFaults{
 		Seed:        seed,
 		ECN:         true,
+		SACK:        true,
 		LossProb:    0.005 + 0.02*rng.Float64(),
-		ReorderProb: 0.005 * rng.Float64(),
+		ReorderProb: 0.005 + 0.015*rng.Float64(),
 		CEMarkProb:  0.002 + 0.01*rng.Float64(),
+	}
+	// Alternate the congestion controller across seeds: the controller
+	// changes timing, never bytes, so equivalence must hold under both.
+	if seed%2 == 0 {
+		f.CC = "cubic"
+	} else {
+		f.CC = "newreno"
 	}
 	at := time.Duration(200+rng.Intn(400)) * time.Microsecond
 	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
@@ -64,6 +72,18 @@ func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) 
 	if f.ECN {
 		w.Gen.Stack.EnableECN()
 		w.Srv.Stack.EnableECN()
+	}
+	if f.SACK {
+		w.Gen.Stack.EnableSACK()
+		w.Srv.Stack.EnableSACK()
+	}
+	if f.CC != "" {
+		if cerr := w.Gen.Stack.SetCongestionControl(f.CC); cerr != nil {
+			panic(cerr)
+		}
+		if cerr := w.Srv.Stack.SetCongestionControl(f.CC); cerr != nil {
+			panic(cerr)
+		}
 	}
 
 	const msgSize, recordSize = 64 << 10, 4 << 10

@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"chaos", "Chaos soak: corruption, bursts, blackouts, NIC faults", Chaos},
 		{"ecn", "ECN marking: CE->ECE->CWR chain under offload", ECN},
 		{"mtuflap", "Mid-flow MTU changes: re-segmentation vs offload resync", MTUFlapScenario},
+		{"recovery", "SACK/DSACK loss recovery: episode latency and offload re-lock", Recovery},
 	}
 }
 

@@ -34,8 +34,8 @@ func TestTablePrinting(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 23 {
-		t.Errorf("expected 23 experiments, got %d", len(All()))
+	if len(All()) != 24 {
+		t.Errorf("expected 24 experiments, got %d", len(All()))
 	}
 	if _, ok := ByID("fig13"); !ok {
 		t.Error("fig13 missing from registry")

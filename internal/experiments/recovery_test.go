@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecoverySACKBeatsRTO pins the tentpole's acceptance: under 2% loss
+// with reordering, SACK-enabled recovery completes multi-hole episodes in
+// round-trip time while NewReno-without-SACK needs timeouts. The two runs
+// share the fault schedule, so the comparison isolates the recovery
+// machinery.
+func TestRecoverySACKBeatsRTO(t *testing.T) {
+	const minRTO = 2 * time.Millisecond // chaos-world override
+	noSACK := RunChaosIperf(recoveryFaults(0.02, false, "newreno"),
+		IperfTCP, recoveryStreams, 256<<10, 16<<10, recoveryWindow)
+	withSACK := RunChaosIperf(recoveryFaults(0.02, true, "newreno"),
+		IperfTCP, recoveryStreams, 256<<10, 16<<10, recoveryWindow)
+
+	if len(noSACK.Violations)+len(withSACK.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", noSACK.Violations, withSACK.Violations)
+	}
+	if noSACK.Timeouts == 0 {
+		t.Errorf("NewReno without SACK hit no RTO under 2%% loss+reorder (episodes=%d)",
+			noSACK.RecoveryEpisodes)
+	}
+	if withSACK.HolesRetx == 0 || withSACK.SACKBlocksRcvd == 0 {
+		t.Errorf("SACK machinery never engaged: holes=%d blocks=%d",
+			withSACK.HolesRetx, withSACK.SACKBlocksRcvd)
+	}
+	if withSACK.RecoveryEpisodes == 0 {
+		t.Fatal("no recovery episode recorded with SACK on")
+	}
+	// The p90 episode with SACK finishes in RTTs, far below the minimum
+	// RTO — hole-directed retransmission, not timer expiry.
+	if withSACK.RecoveryP90 >= minRTO {
+		t.Errorf("SACK recovery p90 = %v, want < min RTO %v", withSACK.RecoveryP90, minRTO)
+	}
+	if withSACK.Timeouts > noSACK.Timeouts {
+		t.Errorf("SACK produced more RTOs (%d) than plain NewReno (%d)",
+			withSACK.Timeouts, noSACK.Timeouts)
+	}
+}
+
+// TestRecoveryCubicEquivalent runs the same schedule under CUBIC: the
+// congestion controller changes the rate, never the bytes, and SACK's
+// recovery behaviour carries over.
+func TestRecoveryCubicEquivalent(t *testing.T) {
+	r := RunChaosIperf(recoveryFaults(0.02, true, "cubic"),
+		IperfTCP, recoveryStreams, 256<<10, 16<<10, recoveryWindow)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations under cubic: %v", r.Violations)
+	}
+	if r.HolesRetx == 0 || r.RecoveryEpisodes == 0 {
+		t.Errorf("recovery never engaged under cubic: holes=%d episodes=%d",
+			r.HolesRetx, r.RecoveryEpisodes)
+	}
+	// CUBIC keeps larger flights in the air, so tail episodes merge across
+	// adjacent bursts; the median still finishes in RTTs, well under the RTO.
+	if r.RecoveryP50 >= 2*time.Millisecond {
+		t.Errorf("cubic SACK recovery p50 = %v, want < min RTO", r.RecoveryP50)
+	}
+}
+
+// TestRecoveryOffloadRelock: the offloaded receiver under the same loss
+// keeps re-locking with SACK on — faster transport repair must not confuse
+// the engine (stale refills are bypassed) and byte exactness holds.
+func TestRecoveryOffloadRelock(t *testing.T) {
+	r := RunChaosIperf(recoveryFaults(0.02, true, "newreno"),
+		IperfTLSOffload, recoveryStreams, 256<<10, 16<<10, recoveryWindow)
+	if len(r.Violations) != 0 {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.NIC.RxSearches+r.EngRelocks == 0 {
+		t.Error("no desync episode under 2% loss; the re-lock loop is unexercised")
+	}
+	if r.NIC.RxResumes+r.EngRelocks == 0 {
+		t.Errorf("engine never regained sync: searches=%d resumes=%d relocks=%d",
+			r.NIC.RxSearches, r.NIC.RxResumes, r.EngRelocks)
+	}
+	if r.EngFallbacks != 0 {
+		t.Errorf("engine fell back under plain loss+reorder: %d", r.EngFallbacks)
+	}
+}
+
+// TestRecoveryDeterminism: the sweep is seeded; identical configs must
+// reproduce identical recovery counters.
+func TestRecoveryDeterminism(t *testing.T) {
+	run := func() *ChaosResult {
+		return RunChaosIperf(recoveryFaults(0.02, true, "cubic"),
+			IperfTCP, 2, 256<<10, 16<<10, chaosWindow)
+	}
+	a, b := run(), run()
+	if a.Bytes != b.Bytes || a.Timeouts != b.Timeouts || a.HolesRetx != b.HolesRetx ||
+		a.RecoveryEpisodes != b.RecoveryEpisodes || a.RecoveryP99 != b.RecoveryP99 {
+		t.Errorf("recovery run not deterministic:\na=%+v\nb=%+v", a, b)
+	}
+}

@@ -100,6 +100,11 @@ type StorageOpts struct {
 	TargetTxOffload bool
 	// ECN enables RFC 3168 on all three stacks before establishment.
 	ECN bool
+	// SACK enables RFC 2018/2883 loss recovery on all three stacks before
+	// establishment; CC selects their congestion controller ("newreno",
+	// "cubic"; empty keeps the default).
+	SACK bool
+	CC   string
 }
 
 // NewStorageWorld builds the topology and establishes the NVMe connection.
@@ -141,6 +146,18 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 		w.Gen.Stack.EnableECN()
 		w.Srv.Stack.EnableECN()
 		w.Tgt.Stack.EnableECN()
+	}
+	if o.SACK {
+		w.Gen.Stack.EnableSACK()
+		w.Srv.Stack.EnableSACK()
+		w.Tgt.Stack.EnableSACK()
+	}
+	if o.CC != "" {
+		for _, st := range []*tcpip.Stack{w.Gen.Stack, w.Srv.Stack, w.Tgt.Stack} {
+			if err := st.SetCongestionControl(o.CC); err != nil {
+				panic(err)
+			}
+		}
 	}
 	// Attach before establishment: offload engines pick up their tracer
 	// when AttachRx/AttachTx run during connection setup below.

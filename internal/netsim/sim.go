@@ -279,6 +279,9 @@ type Link struct {
 	dirs   [2]direction
 	tracer *telemetry.Tracer
 	tids   [2]string // per-direction track labels, precomputed at attach
+	// tooBig holds per-direction PMTUD callbacks (NotifyTooBigA/B), fired
+	// one link latency after an MTU drop of that direction's frame.
+	tooBig [2]func(mtu int)
 }
 
 type direction struct {
@@ -335,6 +338,17 @@ func (l *Link) setFaults(dir int, fc FaultConfig) {
 // dropped if they exceed the new MTU. 0 removes the limit.
 func (l *Link) SetMTU(mtu int) { l.cfg.MTU = mtu }
 
+// NotifyTooBigA registers fn to receive an ICMP-style "fragmentation
+// needed" signal — carrying the constricting link MTU — whenever a frame
+// sent by the A side is dropped for exceeding it. Delivery is delayed by
+// the link latency, the way a real ICMP error travels back from the
+// bottleneck hop. No rng draw is involved, so registering the callback
+// does not perturb seeded fault sequences.
+func (l *Link) NotifyTooBigA(fn func(mtu int)) { l.tooBig[0] = fn }
+
+// NotifyTooBigB registers the B-side equivalent of NotifyTooBigA.
+func (l *Link) NotifyTooBigB(fn func(mtu int)) { l.tooBig[1] = fn }
+
 // MTU returns the link's current maximum frame size (0 = unlimited).
 func (l *Link) MTU() int { return l.cfg.MTU }
 
@@ -374,14 +388,20 @@ func (l *Link) send(dir int, frame wire.Frame) {
 	d.stats.Sent++
 	l.tracer.Instant1("net", "pkt.tx", l.tids[dir], "bytes", int64(len(frame)))
 
-	// Path MTU: frames too large for the current path are dropped outright
-	// (no ICMP in this model — the stack learns via loss, or is told out of
-	// band by the harness playing PMTUD). No rng draw, so enabling an MTU
-	// does not perturb the fault sequences.
+	// Path MTU: frames too large for the current path are dropped outright.
+	// When the sender registered a too-big callback it hears an ICMP-style
+	// "fragmentation needed" signal one link latency later; otherwise the
+	// stack learns via loss or is told out of band by the harness playing
+	// PMTUD. No rng draw, so enabling an MTU does not perturb the fault
+	// sequences.
 	if l.cfg.MTU > 0 && len(frame) > l.cfg.MTU {
 		d.stats.MTUDrops++
 		d.stats.Dropped++
 		l.tracer.Instant1("net", "pkt.drop.mtu", l.tids[dir], "bytes", int64(len(frame)))
+		if cb := l.tooBig[dir]; cb != nil {
+			mtu := l.cfg.MTU
+			l.sim.After(l.cfg.Latency, func() { cb(mtu) })
+		}
 		return
 	}
 

@@ -47,16 +47,20 @@ func TestRxEngineFSM(t *testing.T) {
 	bodies := []int{150, 90, 150, 150, 150, 150, 150, 150, 150, 150}
 
 	cases := []struct {
-		name    string
-		bodies  []int
-		sizes   []int // packet cut sizes; nil = uniform 100-byte packets
-		lose    map[int]bool
-		respond string
-		policy  FallbackPolicy
-		chaos   RxChaos
-		corrupt bool // damage the final message's trailer
-		want    string
-		check   func(t *testing.T, e *RxEngine, ops *tpOps)
+		name   string
+		bodies []int
+		sizes  []int // packet cut sizes; nil = uniform 100-byte packets
+		lose   map[int]bool
+		// schedule, when set, rewrites the delivery order after lose is
+		// applied — SACK-era arrival patterns (holes filled late by
+		// retransmissions, pairwise reordering) rather than pure loss.
+		schedule func(pkts []pkt) []pkt
+		respond  string
+		policy   FallbackPolicy
+		chaos    RxChaos
+		corrupt  bool // damage the final message's trailer
+		want     string
+		check    func(t *testing.T, e *RxEngine, ops *tpOps)
 	}{
 		{
 			name:    "clean stream stays offloading",
@@ -223,6 +227,61 @@ func TestRxEngineFSM(t *testing.T) {
 			},
 		},
 		{
+			// SACK-driven recovery delivers the hole's retransmission after
+			// later segments already arrived: the refill reaches the NIC as
+			// a stale packet once the engine has moved past it. It must be
+			// bypassed — no state change, no abort, no fallback.
+			name: "sack hole refill arrives late and is bypassed",
+			schedule: func(pkts []pkt) []pkt {
+				// Move packet 1 (the header-bearing packet the other cases
+				// lose outright) to the tail: the hole opens, recovery runs,
+				// and the retransmission lands after the window drained.
+				out := append([]pkt(nil), pkts[:1]...)
+				out = append(out, pkts[2:]...)
+				return append(out, pkts[1])
+			},
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.Stats.PktsBypassed == 0 {
+					t.Errorf("late refill was not bypassed: %+v", e.Stats)
+				}
+				if e.FellBack() || e.Stats.Fallbacks != 0 {
+					t.Errorf("stale refill tripped fallback: %+v", e.Stats)
+				}
+				if e.Stats.Resumes == 0 {
+					t.Errorf("engine never resumed offloading: %+v", e.Stats)
+				}
+			},
+		},
+		{
+			// Pairwise reordering (no loss at all): each swapped pair opens a
+			// one-packet gap that the very next packet fills. The engine may
+			// briefly leave offloading but must re-lock and finish there
+			// without ever degrading.
+			name: "pairwise reordering relocks without fallback",
+			schedule: func(pkts []pkt) []pkt {
+				out := append([]pkt(nil), pkts...)
+				for i := 2; i+1 < len(out); i += 7 {
+					out[i], out[i+1] = out[i+1], out[i]
+				}
+				return out
+			},
+			respond: "confirm",
+			want:    "offloading",
+			check: func(t *testing.T, e *RxEngine, ops *tpOps) {
+				if e.FellBack() || e.Stats.Fallbacks != 0 {
+					t.Errorf("reordering tripped fallback: %+v", e.Stats)
+				}
+				if e.Stats.PktsBypassed == 0 {
+					t.Errorf("no reordered packet was bypassed: %+v", e.Stats)
+				}
+				if e.Stats.PktsOffloaded == 0 {
+					t.Errorf("offload never resumed between swaps: %+v", e.Stats)
+				}
+			},
+		},
+		{
 			name:    "chaos drops the resync request",
 			lose:    map[int]bool{1: true},
 			respond: "confirm",
@@ -274,8 +333,12 @@ func TestRxEngineFSM(t *testing.T) {
 			if sizes == nil {
 				sizes = repeatSizes(100, 100)
 			}
+			delivery := st.packets(sizes)
+			if tc.schedule != nil {
+				delivery = tc.schedule(delivery)
+			}
 			var sawOffloaded bool
-			for i, p := range st.packets(sizes) {
+			for i, p := range delivery {
 				if tc.lose[i] {
 					continue
 				}

@@ -258,12 +258,14 @@ func (e *RxEngine) Process(seq uint32, data []byte, contiguous bool) meta.RxFlag
 		return e.processOoS(seq, data)
 	case rxSearching:
 		e.Stats.PktsUnoffloaded++
+		e.oosPkts++
 		if !e.noRecovery {
 			e.search(seq, data)
 		}
 		return e.ops.PacketVerdict(false, true)
 	case rxTracking:
 		e.Stats.PktsUnoffloaded++
+		e.oosPkts++
 		e.track(seq, data)
 		return e.ops.PacketVerdict(false, true)
 	}
@@ -373,6 +375,7 @@ func (e *RxEngine) processOoS(seq uint32, data []byte) meta.RxFlags {
 	// Future gap. Compute the sequence number M of the next message
 	// header using the current message's length (§4.3).
 	e.Stats.PktsUnoffloaded++
+	e.oosPkts++
 	if e.noRecovery {
 		e.enterSearching(seq, nil) // dead state: nothing is ever scanned
 		return e.ops.PacketVerdict(false, true)

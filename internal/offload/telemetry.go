@@ -37,6 +37,8 @@ func (e *RxEngine) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry
 		}
 		e.resyncHist = reg.Histogram("offload.rx.resync_latency_ns")
 		e.realignHist = reg.Histogram("offload.rx.realign_latency_ns")
+		e.oosHist = reg.Histogram("offload.rx.oos_episode_pkts")
+		e.confirmLagHist = reg.Histogram("offload.rx.resync_confirm_lag_ns")
 	}
 }
 
@@ -77,7 +79,13 @@ func (e *RxEngine) setState(s rxState) {
 			e.desyncAt = now
 		} else if s == rxOffloading {
 			e.realignHist.Record(int64(now - e.desyncAt))
+			// OOS-episode length: how many packets software had to carry
+			// between losing the offload and this resume.
+			e.oosHist.Record(int64(e.oosPkts))
 		}
+	}
+	if s == rxOffloading {
+		e.oosPkts = 0
 	}
 	e.state = s
 }
@@ -111,7 +119,12 @@ func (e *RxEngine) noteResyncAnswer(seq uint32, ok bool) {
 		return
 	}
 	if ok {
-		e.resyncHist.Record(int64(e.tr.Now() - e.resyncSentAt))
+		now := e.tr.Now()
+		e.resyncHist.Record(int64(now - e.resyncSentAt))
+		// Confirmation lag: virtual time from losing the offload to
+		// software confirming the candidate — the slice of the realignment
+		// the resync round trip is responsible for.
+		e.confirmLagHist.Record(int64(now - e.desyncAt))
 		e.tr.Instant1("resync", "resync.confirm", e.traceTid, "seq", int64(seq))
 	} else {
 		e.tr.Instant1("resync", "resync.reject", e.traceTid, "seq", int64(seq))
@@ -125,9 +138,14 @@ type telemetryState struct {
 	stateSince   time.Duration
 	resyncSentAt time.Duration
 	desyncAt     time.Duration
+	oosPkts      uint64 // packets carried by software this OOS episode
 	stateHist    [4]*telemetry.Histogram
 	resyncHist   *telemetry.Histogram
 	realignHist  *telemetry.Histogram
+	// oosHist samples oosPkts at each resume; confirmLagHist samples
+	// desync→resync-confirmation virtual time.
+	oosHist        *telemetry.Histogram
+	confirmLagHist *telemetry.Histogram
 }
 
 // txTelemetryState is the telemetry plumbing embedded in TxEngine.

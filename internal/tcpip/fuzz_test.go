@@ -104,3 +104,95 @@ func FuzzReassembly(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScoreboard drives the SACK scoreboard with fuzzer-chosen sequences of
+// block arrivals and cumulative-ACK advances, then checks the invariants
+// documented on the type after every operation: ranges stay sorted,
+// disjoint, non-empty, and above the cumulative ACK; nextHole never returns
+// SACKed (i.e. already-delivered) bytes or bytes below una; and the hole
+// walk always terminates having tiled [una, top) exactly — so a sender
+// following it never retransmits acked data and never stalls.
+func FuzzScoreboard(f *testing.F) {
+	f.Add(uint32(1000), []byte{0, 10, 4, 0, 30, 4, 1, 15, 0})
+	f.Add(uint32(0xFFFFFF00), []byte{0, 2, 60, 0, 100, 8, 1, 200, 0}) // wrap region
+	f.Add(uint32(0), []byte{1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, una uint32, ops []byte) {
+		if len(ops) > 1<<10 {
+			return
+		}
+		var sb scoreboard
+		const window = 1 << 16 // keep offsets inside a plausible send window
+
+		check := func() {
+			t.Helper()
+			prevEnd := una
+			for i, r := range sb.ranges {
+				if seqSub(r.End, r.Start) <= 0 {
+					t.Fatalf("range %d empty or inverted: [%d,%d)", i, r.Start, r.End)
+				}
+				if seqSub(r.Start, prevEnd) < 0 {
+					t.Fatalf("range %d overlaps predecessor or una: start=%d prevEnd=%d",
+						i, r.Start, prevEnd)
+				}
+				prevEnd = r.End
+			}
+			top, ok := sb.top()
+			if !ok {
+				if len(sb.ranges) != 0 {
+					t.Fatal("top() empty with ranges present")
+				}
+				return
+			}
+			// Walk the holes from una to top: they must make forward
+			// progress, never touch a SACKed byte, and together with the
+			// SACKed ranges tile [una, top) exactly.
+			covered := 0
+			from := una
+			for steps := 0; ; steps++ {
+				if steps > len(sb.ranges)+2 {
+					t.Fatalf("hole walk did not terminate: from=%d top=%d", from, top)
+				}
+				start, end, ok := sb.nextHole(from, top)
+				if !ok {
+					break
+				}
+				if seqSub(start, from) < 0 || seqSub(end, start) <= 0 || seqSub(top, end) < 0 {
+					t.Fatalf("bad hole [%d,%d) from=%d top=%d", start, end, from, top)
+				}
+				for _, r := range sb.ranges {
+					if seqSub(end, r.Start) > 0 && seqSub(r.End, start) > 0 {
+						t.Fatalf("hole [%d,%d) overlaps SACKed range [%d,%d)",
+							start, end, r.Start, r.End)
+					}
+				}
+				covered += seqSub(end, start)
+				from = end
+			}
+			if covered+sb.sackedBytes() != seqSub(top, una) {
+				t.Fatalf("holes (%d) + sacked (%d) != span [una,top) (%d)",
+					covered, sb.sackedBytes(), seqSub(top, una))
+			}
+		}
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i], int(ops[i+1]), int(ops[i+2])
+			switch op % 2 {
+			case 0: // SACK block arrival
+				start := una + uint32(a*257%window)
+				end := start + uint32(1+b*11%4096)
+				before := sb.sackedBytes()
+				grew := sb.add(start, end)
+				if grew && sb.sackedBytes() <= before {
+					t.Fatal("add reported new bytes but sackedBytes did not grow")
+				}
+				if !grew && sb.sackedBytes() != before {
+					t.Fatal("add reported no new bytes but sackedBytes changed")
+				}
+			case 1: // cumulative ACK advance
+				una += uint32(a*97 + b)
+				sb.advance(una)
+			}
+			check()
+		}
+	})
+}

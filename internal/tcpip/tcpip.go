@@ -1,8 +1,9 @@
 // Package tcpip is a from-scratch TCP implementation over the simulated
 // link: three-way handshake, MSS segmentation, cumulative acknowledgments,
 // retransmission (RTO with exponential backoff and fast retransmit on three
-// duplicate ACKs), NewReno-style congestion control, out-of-order
-// reassembly, receive-window flow control, and FIN teardown.
+// duplicate ACKs), pluggable congestion control (NewReno and CUBIC), SACK
+// and DSACK loss recovery with spurious-RTO undo, out-of-order reassembly,
+// receive-window flow control, and FIN teardown.
 //
 // The paper's central design constraint is that the NIC offload must be
 // *transparent* to an unmodified software TCP stack (§1, §3). This package
@@ -57,9 +58,20 @@ type Stack struct {
 	// ecn enables RFC 3168 negotiation on connections opened or accepted
 	// afterwards (off by default: legacy peers and seeded golden runs).
 	ecn bool
+	// sack enables RFC 2018/2883 selective acknowledgments on connections
+	// opened or accepted afterwards (off by default, like ECN).
+	sack bool
+	// ccName selects the congestion controller for sockets created
+	// afterwards ("" = NewReno).
+	ccName string
 	// mtu, when nonzero, overrides the model's path MTU for segmentation
 	// (SetMTU; the model value is the boot-time interface MTU).
 	mtu int
+
+	// recoveryHist, when set, receives one sample per loss-recovery
+	// episode: nanoseconds from loss detection (fast retransmit or RTO)
+	// until the cumulative ACK covers everything outstanding at detection.
+	recoveryHist *telemetry.Histogram
 
 	// Stats counts stack-level events.
 	Stats StackStats
@@ -84,6 +96,19 @@ type StackStats struct {
 	// Mid-flow path-MTU changes.
 	MTUChanges uint64 // SetMTU calls while sockets were live
 	Resegments uint64 // transmissions re-cut after the MSS changed under them
+	// TooBigSignals counts ICMP-style "fragmentation needed" signals
+	// consumed by HandleTooBig (PMTUD).
+	TooBigSignals uint64
+
+	// SACK/DSACK loss recovery (RFC 2018, 2883, 6675-lite).
+	SACKBlocksSent     uint64 // SACK blocks attached to outgoing ACKs
+	SACKBlocksRcvd     uint64 // valid SACK blocks processed from peer ACKs
+	DSACKsSent         uint64 // duplicate-receive reports sent (RFC 2883)
+	DSACKsRcvd         uint64 // duplicate reports received
+	HolesRetransmitted uint64 // scoreboard-directed hole retransmissions
+	SpuriousRTOs       uint64 // timeouts proven spurious by DSACK evidence
+	Undos              uint64 // cwnd/ssthresh restorations after spurious RTOs
+	RecoveryEpisodes   uint64 // completed loss-recovery episodes
 }
 
 // NewStack creates a stack for the host with the given IP. The ledger
@@ -117,6 +142,55 @@ func (st *Stack) EnableECN() { st.ecn = true }
 
 // ECNEnabled reports whether EnableECN has been called.
 func (st *Stack) ECNEnabled() bool { return st.ecn }
+
+// EnableSACK turns on RFC 2018 selective acknowledgments (plus RFC 2883
+// DSACK and DSACK-based spurious-RTO undo) for connections opened or
+// accepted after the call. Both ends must enable it; negotiation rides the
+// SYN/SYN-ACK "SACK permitted" option.
+func (st *Stack) EnableSACK() { st.sack = true }
+
+// SACKEnabled reports whether EnableSACK has been called.
+func (st *Stack) SACKEnabled() bool { return st.sack }
+
+// SetCongestionControl selects the congestion-control algorithm ("newreno",
+// "cubic") for sockets created after the call.
+func (st *Stack) SetCongestionControl(name string) error {
+	if _, err := NewCongestionControl(name); err != nil {
+		return err
+	}
+	st.ccName = name
+	return nil
+}
+
+// CongestionControlName returns the configured algorithm name.
+func (st *Stack) CongestionControlName() string {
+	if st.ccName == "" {
+		return "newreno"
+	}
+	return st.ccName
+}
+
+// SetRecoveryHistogram routes loss-recovery episode durations (nanoseconds
+// from loss detection to full repair) into h. Pass nil to detach.
+func (st *Stack) SetRecoveryHistogram(h *telemetry.Histogram) { st.recoveryHist = h }
+
+// HandleTooBig consumes an ICMP-style "fragmentation needed" signal
+// carrying the constricting hop's path MTU, the way PMTUD lands on a live
+// stack: if it is below the current MTU the stack re-segments at the new
+// size. In-flight over-sized segments are lost at the link and heal through
+// normal retransmission, re-cut at the lowered MSS.
+func (st *Stack) HandleTooBig(mtu int) {
+	st.Stats.TooBigSignals++
+	if mtu <= 0 || mtu >= st.MTU() {
+		return
+	}
+	// Clamp so a bogus signal cannot wedge the stack below a usable size.
+	const floorMTU = 256
+	if mtu < floorMTU {
+		mtu = floorMTU
+	}
+	st.SetMTU(mtu)
+}
 
 // MSS returns the current maximum segment size: the per-stack path MTU set
 // by SetMTU when present, the model's interface MTU otherwise. Every
@@ -227,17 +301,22 @@ func (st *Stack) maxRTO() time.Duration {
 }
 
 func (st *Stack) newSocket(flow wire.FlowID) *Socket {
+	// The name was validated by SetCongestionControl; "" is NewReno.
+	cc, err := NewCongestionControl(st.ccName)
+	if err != nil {
+		panic(err)
+	}
 	s := &Socket{
 		stack:      st,
 		flow:       flow,
 		iss:        st.issSeed,
 		sndBufCap:  defaultSndBuf,
 		rcvBufCap:  defaultRcvBuf,
-		cwnd:       10 * st.MSS(),
-		ssthresh:   1 << 30,
+		cc:         cc,
 		rto:        initialRTO,
 		peerWindow: st.MSS(), // until first segment arrives
 	}
+	s.cc.Init(st.MSS())
 	st.issSeed += 64013
 	s.sndUna = s.iss
 	s.sndNxt = s.iss
@@ -272,6 +351,11 @@ func (st *Stack) Input(pkt *wire.Packet, flags meta.RxFlags) {
 				if st.ecn && pkt.Flags&(wire.FlagECE|wire.FlagCWR) ==
 					wire.FlagECE|wire.FlagCWR {
 					s.ecnOK = true
+				}
+				// SACK negotiation: accept when both ends permit it; the
+				// SYN-ACK echoes the option (built in sendControl).
+				if st.sack && pkt.SACKPermitted {
+					s.sackOK = true
 				}
 				s.sendControl(s.synAckFlags(), s.iss)
 				s.sndNxt = s.iss + 1
@@ -366,8 +450,7 @@ type Socket struct {
 	finQueued  bool
 	finSeq     uint32
 	peerWindow int
-	cwnd       int
-	ssthresh   int
+	cc         CongestionControl
 	dupAcks    int
 	inRecovery bool
 	recoverSeq uint32
@@ -400,6 +483,43 @@ type Socket struct {
 	// lastMSS tracks the segment size this socket last cut at, so a cut at
 	// a different size after SetMTU is visible as a re-segmentation event.
 	lastMSS int
+
+	// SACK state (RFC 2018/2883/6675-lite). sackOK is negotiated on the
+	// handshake. The sender keeps a scoreboard of receiver-reported ranges
+	// and retransmits holes directly; highRxt marks how far into the
+	// current recovery holes have already been resent.
+	sackOK  bool
+	sb      scoreboard
+	highRxt uint32
+
+	// Receiver-side duplicate report (DSACK): the most recent duplicate
+	// arrival, sent as the first SACK block of the next outgoing ACK.
+	dsackPending bool
+	dsackBlock   wire.SACKBlock
+	// lastOOOStart is the start of the most recently arrived out-of-order
+	// segment; its containing range leads the SACK block list (RFC 2018).
+	lastOOOStart uint32
+
+	// Spurious-RTO detection: after the first timeout of a streak the
+	// retransmitted range is remembered; a DSACK covering it proves the
+	// timeout spurious and the congestion state is restored (cc.Undo).
+	undoPending            bool
+	rtoRexStart, rtoRexEnd uint32
+
+	// Loss-recovery episode measurement: detection time and the sequence
+	// that must be cumulatively ACKed for the episode to end.
+	episodeActive bool
+	episodeStart  time.Duration
+	episodeEnd    uint32
+	// Lost-retransmission detection (RFC 6675 rescue, RACK-lite): the
+	// lowest outstanding hole retransmission and the scoreboard top when it
+	// went out. If SACK evidence advances well past that top while the
+	// cumulative ACK stays pinned below the hole, the retransmission itself
+	// was lost and the hole is re-driven instead of stalling until RTO.
+	rescueWait bool
+	rescueSeq  uint32
+	rescueTop  uint32
+	rescueAt   time.Duration // when the watched hole was last (re)driven
 
 	// Receive state.
 	irs        uint32
@@ -587,7 +707,69 @@ func (s *Socket) sendControl(flags wire.TCPFlags, seq uint32) {
 		Flags:  flags,
 		Window: s.recvWindow(),
 	}
+	if flags&wire.FlagSYN != 0 {
+		// Active open offers SACK whenever the stack speaks it; the
+		// SYN-ACK echoes only if the negotiation succeeded.
+		if flags&wire.FlagACK == 0 {
+			pkt.SACKPermitted = s.stack.sack
+		} else {
+			pkt.SACKPermitted = s.sackOK
+		}
+	} else if s.sackOK && flags&wire.FlagACK != 0 {
+		// SACK blocks ride pure ACKs only: control segments carry no
+		// payload, so the option bytes never push a data frame past the
+		// link MTU.
+		pkt.SACKBlocks = s.buildSACKBlocks()
+	}
 	s.output(pkt)
+}
+
+// buildSACKBlocks assembles the outgoing SACK option: a pending DSACK
+// duplicate report first (RFC 2883), then the out-of-order ranges with the
+// most recently changed one leading (RFC 2018 §4).
+func (s *Socket) buildSACKBlocks() []wire.SACKBlock {
+	if !s.dsackPending && len(s.ooo) == 0 {
+		return nil
+	}
+	var blocks []wire.SACKBlock
+	if s.dsackPending {
+		blocks = append(blocks, s.dsackBlock)
+		s.dsackPending = false
+		s.stack.Stats.DSACKsSent++
+	}
+	ranges := s.oooRanges()
+	// Most recently received range first.
+	for i, r := range ranges {
+		if i > 0 && seqLE(r.Start, s.lastOOOStart) && seqLT(s.lastOOOStart, r.End) {
+			ranges[0], ranges[i] = ranges[i], ranges[0]
+			break
+		}
+	}
+	for _, r := range ranges {
+		if len(blocks) >= wire.MaxSACKBlocks {
+			break
+		}
+		blocks = append(blocks, r)
+	}
+	s.stack.Stats.SACKBlocksSent += uint64(len(blocks))
+	return blocks
+}
+
+// oooRanges merges the sorted out-of-order segments into disjoint
+// sequence ranges.
+func (s *Socket) oooRanges() []wire.SACKBlock {
+	var out []wire.SACKBlock
+	for _, seg := range s.ooo {
+		start, end := seg.seq, seg.seq+uint32(len(seg.data))
+		if n := len(out); n > 0 && seqLE(start, out[n-1].End) {
+			if seqLT(out[n-1].End, end) {
+				out[n-1].End = end
+			}
+		} else {
+			out = append(out, wire.SACKBlock{Start: start, End: end})
+		}
+	}
+	return out
 }
 
 func (s *Socket) output(pkt *wire.Packet) {
@@ -635,7 +817,7 @@ func (s *Socket) trySend() {
 	mss := s.stack.MSS()
 	for {
 		inFlight := int(s.sndNxt - s.sndUna)
-		wnd := s.cwnd
+		wnd := s.cc.Cwnd()
 		if s.peerWindow < wnd {
 			wnd = s.peerWindow
 		}
@@ -757,8 +939,7 @@ func (s *Socket) onRTO() {
 		// A single timeout may be spurious — a queueing-delay spike — and
 		// must not trigger a full-window retransmission.
 		flight := int(s.sndNxt - s.sndUna)
-		s.ssthresh = max(flight/2, 2*s.stack.MSS())
-		s.cwnd = s.stack.MSS()
+		s.cc.OnRTO(flight, s.stack.MSS(), s.stack.sim.Now())
 		s.rtoStreak++
 		if s.rtoStreak > 1 {
 			s.inRecovery = true
@@ -767,11 +948,27 @@ func (s *Socket) onRTO() {
 			s.inRecovery = false
 		}
 		s.dupAcks = 0
+		s.highRxt = s.sndUna
+		s.beginEpisode()
 		n := min(s.stack.MSS(), len(s.sndBuf))
 		if n > 0 {
 			s.transmitRange(s.sndUna, n, true)
 		} else if s.finSeq == s.sndUna && s.sndNxt == s.sndUna+1 {
 			s.sendControl(wire.FlagFIN|wire.FlagACK, s.finSeq)
+		}
+		// Arm spurious-RTO detection on the first timeout of a streak: if
+		// the peer later DSACKs exactly this retransmitted range, the
+		// originals were merely delayed and the collapse is undone.
+		if s.rtoStreak == 1 {
+			s.undoPending = true
+			s.rtoRexStart = s.sndUna
+			if n > 0 {
+				s.rtoRexEnd = s.sndUna + uint32(n)
+			} else {
+				s.rtoRexEnd = s.sndUna + 1 // FIN retransmission
+			}
+		} else {
+			s.undoPending = false
 		}
 		s.rttPending = false // Karn's algorithm: no samples from rexmits
 	}
@@ -807,6 +1004,10 @@ func (s *Socket) input(pkt *wire.Packet, flags meta.RxFlags) {
 			// ECE on the SYN-ACK means the peer accepted our ECN offer.
 			if s.stack.ecn && pkt.Flags&wire.FlagECE != 0 {
 				s.ecnOK = true
+			}
+			// SACK-permitted echoed on the SYN-ACK seals the negotiation.
+			if s.stack.sack && pkt.SACKPermitted {
+				s.sackOK = true
 			}
 			s.state = stateEstablished
 			s.stopRTO()
@@ -888,16 +1089,22 @@ func (s *Socket) processAck(pkt *wire.Packet) {
 		if !s.ecnCutActive && !s.inRecovery {
 			s.ecnCutActive = true
 			s.ecnCwrEnd = s.sndNxt
-			s.ssthresh = max(s.cwnd/2, 2*mss)
-			s.cwnd = s.ssthresh
+			s.cc.OnECE(mss, s.stack.sim.Now())
 			s.cwrPending = true
 			s.stack.Stats.ECNCwndCuts++
 			s.stack.tracer.Instant2("tcp", "tcp.ecn_cut", s.stack.traceTid,
-				"cwnd", int64(s.cwnd), "end", int64(s.ecnCwrEnd))
+				"cwnd", int64(s.cc.Cwnd()), "end", int64(s.ecnCwrEnd))
 		}
 	}
 	if s.ecnCutActive && !seqLT(ack, s.ecnCwrEnd) {
 		s.ecnCutActive = false
+	}
+
+	// Incorporate SACK information before the cumulative-ACK logic: the
+	// scoreboard steers hole retransmission, and a DSACK may prove the
+	// last RTO spurious.
+	if s.sackOK && len(pkt.SACKBlocks) > 0 {
+		s.processSACKBlocks(pkt)
 	}
 
 	if seqLE(ack, s.sndUna) {
@@ -905,20 +1112,12 @@ func (s *Socket) processAck(pkt *wire.Packet) {
 		if ack == s.sndUna && s.Unacked() > 0 && len(pkt.Payload) == 0 {
 			s.dupAcks++
 			if s.dupAcks == 3 && !s.inRecovery {
-				// Fast retransmit + NewReno fast recovery.
-				s.stack.Stats.FastRetransmits++
-				s.stack.Stats.Retransmits++
-				s.ssthresh = max(s.Unacked()/2, 2*mss)
-				s.cwnd = s.ssthresh + 3*mss
-				s.inRecovery = true
-				s.recoverSeq = s.sndNxt
-				n := min(mss, len(s.sndBuf))
-				if n > 0 {
-					s.transmitRange(s.sndUna, n, true)
-				}
-				s.rttPending = false
+				s.enterFastRecovery(mss)
 			} else if s.dupAcks > 3 && s.inRecovery {
-				s.cwnd += mss // inflate during recovery
+				s.cc.OnDupAck(mss) // inflate during recovery
+				if s.sackOK {
+					s.sackRetransmit(false)
+				}
 				s.trySend()
 			}
 		}
@@ -942,6 +1141,15 @@ func (s *Socket) processAck(pkt *wire.Packet) {
 	}
 	s.sndBuf = s.sndBuf[dataAcked:]
 	s.sndUna = ack
+	s.sb.advance(ack)
+	if s.rescueWait && seqLT(s.rescueSeq, ack) {
+		s.rescueWait = false // the watched hole was filled
+	}
+	// The cumulative ACK moved past the RTO-retransmitted range without
+	// DSACK evidence (processSACKBlocks ran above): the timeout was real.
+	if s.undoPending && !seqLT(ack, s.rtoRexEnd) {
+		s.undoPending = false
+	}
 
 	// RTT sample (Karn's: only for untransmitted-once data).
 	if s.rttPending && seqLE(s.rttSeq, ack) {
@@ -958,48 +1166,41 @@ func (s *Socket) processAck(pkt *wire.Packet) {
 			s.rttvar = (3*s.rttvar + delta) / 4
 			s.srtt = (7*s.srtt + sample) / 8
 		}
-		s.rto = s.srtt + 4*s.rttvar
-		if s.rto < s.stack.minRTO() {
-			s.rto = s.stack.minRTO()
-		}
-		if s.rto > s.stack.maxRTO() {
-			s.rto = s.stack.maxRTO()
-		}
-	} else if s.srtt > 0 {
+		s.reseedRTO()
+	} else {
 		// New data was acknowledged: the connection is alive, so shed any
 		// exponential backoff (Linux behaviour; pure RFC 6298 retention
 		// deadlocks multi-loss windows behind 4-second timers).
-		s.rto = maxDur(s.srtt+4*s.rttvar, s.stack.minRTO())
+		s.reseedRTO()
 	}
 
 	if s.inRecovery {
 		if seqLT(ack, s.recoverSeq) {
 			// Partial ACK: retransmit the next hole, deflate.
-			n := min(mss, len(s.sndBuf))
-			if n > 0 {
-				s.stack.Stats.Retransmits++
-				s.transmitRange(s.sndUna, n, true)
+			if s.sackOK {
+				s.sackRetransmit(true)
+			} else {
+				n := min(mss, len(s.sndBuf))
+				if n > 0 {
+					s.stack.Stats.Retransmits++
+					s.transmitRange(s.sndUna, n, true)
+				}
 			}
-			s.cwnd = max(s.cwnd-int(acked)+mss, mss)
+			s.cc.OnPartialAck(int(acked), mss)
 		} else {
-			s.inRecovery = false
-			s.cwnd = s.ssthresh
-			s.dupAcks = 0
+			s.exitRecovery(mss)
 		}
 	} else {
 		s.dupAcks = 0
-		if s.cwnd < s.ssthresh {
-			s.cwnd += int(acked) // slow start
-		} else {
-			s.cwnd += max(mss*mss/s.cwnd, 1) // congestion avoidance
-		}
+		s.cc.OnAck(int(acked), mss, s.stack.sim.Now())
 	}
+	s.maybeEndEpisode(ack)
 
 	if s.Unacked() > 0 {
 		s.armRTO()
 	} else {
 		s.stopRTO()
-		s.rto = maxDur(s.srtt+4*s.rttvar, s.stack.minRTO())
+		s.reseedRTO()
 	}
 
 	if finAcked {
@@ -1017,6 +1218,203 @@ func (s *Socket) processAck(pkt *wire.Packet) {
 	}
 }
 
+// enterFastRecovery starts fast retransmit + fast recovery on the third
+// duplicate ACK. With SACK the scoreboard directs which bytes go out; the
+// legacy path blindly resends the segment at snd.una.
+func (s *Socket) enterFastRecovery(mss int) {
+	s.stack.Stats.FastRetransmits++
+	s.cc.OnEnterRecovery(s.Unacked(), mss, s.stack.sim.Now())
+	s.inRecovery = true
+	s.recoverSeq = s.sndNxt
+	s.undoPending = false
+	s.beginEpisode()
+	if s.sackOK {
+		s.highRxt = s.sndUna
+		s.sackRetransmit(true)
+		return
+	}
+	s.stack.Stats.Retransmits++
+	n := min(mss, len(s.sndBuf))
+	if n > 0 {
+		s.transmitRange(s.sndUna, n, true)
+	}
+	s.rttPending = false
+}
+
+// exitRecovery ends fast recovery after the cumulative ACK covers
+// recoverSeq, collapsing the inflated window and re-seeding the RTO from
+// the smoothed RTT so no exponentially backed-off timer outlives the
+// episode it backed off for.
+func (s *Socket) exitRecovery(mss int) {
+	s.inRecovery = false
+	s.cc.OnExitRecovery(mss)
+	s.dupAcks = 0
+	s.highRxt = s.sndUna
+	s.reseedRTO()
+}
+
+// reseedRTO recomputes the retransmission timeout from SRTT/RTTVAR
+// (RFC 6298), falling back to the initial RTO before the first sample.
+// Forward progress always lands here, so exponential backoff never
+// outlives the stall that caused it.
+func (s *Socket) reseedRTO() {
+	if s.srtt > 0 {
+		s.rto = s.srtt + 4*s.rttvar
+	} else {
+		s.rto = initialRTO
+	}
+	if s.rto < s.stack.minRTO() {
+		s.rto = s.stack.minRTO()
+	}
+	if s.rto > s.stack.maxRTO() {
+		s.rto = s.stack.maxRTO()
+	}
+}
+
+// processSACKBlocks folds the ACK's SACK option into the scoreboard.
+// Blocks at or below the cumulative ACK are DSACK duplicate reports
+// (RFC 2883 §4); one covering the last RTO's retransmission proves that
+// timeout spurious.
+func (s *Socket) processSACKBlocks(pkt *wire.Packet) {
+	for _, b := range pkt.SACKBlocks {
+		if !seqLT(b.Start, b.End) {
+			continue // malformed or empty block
+		}
+		s.stack.Stats.SACKBlocksRcvd++
+		if seqLE(b.End, pkt.Ack) || seqLT(b.Start, s.sndUna) {
+			s.stack.Stats.DSACKsRcvd++
+			s.maybeUndoSpuriousRTO(b)
+			continue
+		}
+		if seqLT(s.sndNxt, b.End) {
+			continue // beyond anything we sent; ignore
+		}
+		s.sb.add(b.Start, b.End)
+	}
+	// Lost-retransmission rescue: the receiver keeps SACKing new data far
+	// above the bottom hole we already retransmitted, yet the cumulative
+	// ACK never moves — the retransmission died too. Re-open the hole so
+	// the next retransmit round re-drives it rather than waiting for RTO.
+	if s.inRecovery && s.rescueWait && s.sackOK {
+		// Rate-limit to roughly one rescue per RTT: the re-driven hole
+		// needs a round trip to be acknowledged before it can be presumed
+		// lost again.
+		wait := s.srtt
+		if wait <= 0 {
+			wait = s.rto / 2
+		}
+		if top, ok := s.sb.top(); ok &&
+			s.stack.sim.Now()-s.rescueAt >= wait &&
+			seqSub(top, s.rescueTop) >= 3*s.stack.MSS() && !seqLT(s.rescueSeq, s.sndUna) {
+			if seqLT(s.rescueSeq, s.highRxt) {
+				s.highRxt = s.rescueSeq
+			}
+			s.rescueTop = top // the next rescue needs fresh evidence again
+			s.sackRetransmit(true)
+		}
+	}
+}
+
+// maybeUndoSpuriousRTO restores the congestion state collapsed by the last
+// timeout when a DSACK shows its retransmission duplicated data the
+// receiver already had — the Eifel response, with DSACK as the detector.
+func (s *Socket) maybeUndoSpuriousRTO(b wire.SACKBlock) {
+	if !s.undoPending {
+		return
+	}
+	if seqLT(s.rtoRexStart, b.Start) || seqLT(b.End, s.rtoRexEnd) {
+		return // the report doesn't cover the RTO retransmission
+	}
+	s.undoPending = false
+	s.stack.Stats.SpuriousRTOs++
+	s.stack.Stats.Undos++
+	s.cc.Undo()
+	s.rtoStreak = 0
+	s.inRecovery = false
+	s.reseedRTO()
+	if s.Unacked() > 0 {
+		s.armRTO()
+	}
+	s.stack.tracer.Instant1("tcp", "tcp.spurious_rto", s.stack.traceTid,
+		"seq", int64(s.rtoRexStart))
+}
+
+// sackRetransmit sends scoreboard-directed hole retransmissions: unsacked
+// ranges below the highest SACKed sequence, one MSS at a time, while the
+// unsacked flight fits the congestion window. force guarantees at least one
+// hole goes out regardless of the pipe estimate (fast-retransmit entry and
+// partial ACKs must always make repair progress).
+func (s *Socket) sackRetransmit(force bool) {
+	mss := s.stack.MSS()
+	top, ok := s.sb.top()
+	if !ok {
+		return
+	}
+	dataEnd := s.sndUna + uint32(len(s.sndBuf))
+	for {
+		from := s.highRxt
+		if seqLT(from, s.sndUna) {
+			from = s.sndUna
+		}
+		if !force {
+			// Conservative pipe: bytes in flight not yet SACKed (lost
+			// bytes stay counted, which only delays, never duplicates).
+			pipe := s.Unacked() - s.sb.sackedBytes()
+			if pipe < 0 {
+				pipe = 0
+			}
+			if pipe+mss > s.cc.Cwnd() {
+				return
+			}
+		}
+		start, end, ok := s.sb.nextHole(from, top)
+		if !ok || seqLE(dataEnd, start) {
+			return
+		}
+		if seqLT(dataEnd, end) {
+			end = dataEnd
+		}
+		n := min(mss, seqSub(end, start))
+		if n <= 0 {
+			return
+		}
+		s.stack.Stats.Retransmits++
+		s.stack.Stats.HolesRetransmitted++
+		s.transmitRange(start, n, true)
+		s.highRxt = start + uint32(n)
+		s.rttPending = false // Karn: no RTT samples from retransmissions
+		force = false
+		if !s.rescueWait || seqLE(start, s.rescueSeq) {
+			s.rescueWait = true
+			s.rescueSeq = start
+			s.rescueTop = top
+			s.rescueAt = s.stack.sim.Now()
+		}
+	}
+}
+
+// beginEpisode stamps the start of a loss-recovery episode (fast
+// retransmit or RTO). Consecutive detections extend the same episode.
+func (s *Socket) beginEpisode() {
+	if s.episodeActive {
+		return
+	}
+	s.episodeActive = true
+	s.episodeStart = s.stack.sim.Now()
+	s.episodeEnd = s.sndNxt
+}
+
+// maybeEndEpisode closes the running episode once the cumulative ACK
+// covers everything outstanding at detection time.
+func (s *Socket) maybeEndEpisode(ack uint32) {
+	if !s.episodeActive || seqLT(ack, s.episodeEnd) {
+		return
+	}
+	s.episodeActive = false
+	s.stack.Stats.RecoveryEpisodes++
+	s.stack.recoveryHist.Record(int64(s.stack.sim.Now() - s.episodeStart))
+}
+
 func (s *Socket) processData(pkt *wire.Packet, flags meta.RxFlags) {
 	seq := pkt.Seq
 	data := pkt.Payload
@@ -1025,6 +1423,14 @@ func (s *Socket) processData(pkt *wire.Packet, flags meta.RxFlags) {
 	// Trim data already received.
 	if seqLT(seq, s.rcvNxt) {
 		skip := s.rcvNxt - seq
+		// Duplicate bytes below rcvNxt: queue a DSACK report (RFC 2883)
+		// for the next outgoing ACK so the sender can tell retransmission
+		// from reordering.
+		if s.sackOK && len(data) > 0 {
+			dupEnd := seq + uint32(min(int(skip), len(data)))
+			s.dsackPending = true
+			s.dsackBlock = wire.SACKBlock{Start: seq, End: dupEnd}
+		}
 		if int(skip) >= len(data) {
 			if fin && seqLE(pkt.EndSeq()-1, s.rcvNxt) {
 				s.handleFin(pkt.EndSeq() - 1)
@@ -1053,10 +1459,18 @@ func (s *Socket) processData(pkt *wire.Packet, flags meta.RxFlags) {
 		return
 	}
 
-	// Out of order: buffer and send a duplicate ACK.
+	// Out of order: buffer and send a duplicate ACK (with SACK blocks when
+	// negotiated; buildSACKBlocks puts this segment's range first).
 	s.stack.Stats.OutOfOrderIn++
 	if len(data) > 0 {
-		s.insertOOO(rxSeg{seq: seq, data: append([]byte(nil), data...), flags: flags})
+		dup := s.insertOOO(rxSeg{seq: seq, data: append([]byte(nil), data...), flags: flags})
+		s.lastOOOStart = seq
+		if dup && s.sackOK {
+			// An exact repeat of a buffered out-of-order segment is also
+			// a duplicate worth reporting (RFC 2883 §4.2).
+			s.dsackPending = true
+			s.dsackBlock = wire.SACKBlock{Start: seq, End: seq + uint32(len(data))}
+		}
 	}
 	if fin {
 		s.peerFinPending(pkt.EndSeq() - 1)
@@ -1106,13 +1520,14 @@ func (s *Socket) deliver(seq uint32, data []byte, flags meta.RxFlags) {
 	s.rcvNxt = seq + uint32(len(data))
 }
 
-func (s *Socket) insertOOO(seg rxSeg) {
-	// Keep segments sorted by seq; drop exact duplicates; allow overlap
-	// (trimmed at drain time).
+// insertOOO buffers an out-of-order segment, keeping the list sorted by
+// seq. Exact duplicates are dropped and reported (for DSACK); overlaps are
+// allowed and trimmed at drain time.
+func (s *Socket) insertOOO(seg rxSeg) (dup bool) {
 	pos := len(s.ooo)
 	for i, o := range s.ooo {
 		if seg.seq == o.seq && len(seg.data) <= len(o.data) {
-			return
+			return true
 		}
 		if seqLT(seg.seq, o.seq) {
 			pos = i
@@ -1122,6 +1537,7 @@ func (s *Socket) insertOOO(seg rxSeg) {
 	s.ooo = append(s.ooo, rxSeg{})
 	copy(s.ooo[pos+1:], s.ooo[pos:])
 	s.ooo[pos] = seg
+	return false
 }
 
 func (s *Socket) drainOOO() {
@@ -1166,8 +1582,8 @@ func maxDur(a, b time.Duration) time.Duration {
 
 // DebugString renders the socket's transmission state for diagnostics.
 func (s *Socket) DebugString() string {
-	return fmt.Sprintf("state=%s sndUna=%d sndNxt=%d buf=%d cwnd=%d ssthresh=%d peerWnd=%d rto=%v rtoArmed=%v inRec=%v dupAcks=%d rcvNxt=%d ooo=%d rcvUsed=%d",
-		s.state, s.sndUna, s.sndNxt, len(s.sndBuf), s.cwnd, s.ssthresh,
+	return fmt.Sprintf("state=%s sndUna=%d sndNxt=%d buf=%d cwnd=%d ssthresh=%d peerWnd=%d rto=%v rtoArmed=%v inRec=%v dupAcks=%d sacked=%d rcvNxt=%d ooo=%d rcvUsed=%d",
+		s.state, s.sndUna, s.sndNxt, len(s.sndBuf), s.cc.Cwnd(), s.cc.Ssthresh(),
 		s.peerWindow, s.rto, s.rtoTimer.Pending(), s.inRecovery, s.dupAcks,
-		s.rcvNxt, len(s.ooo), s.rcvBufUsed)
+		s.sb.sackedBytes(), s.rcvNxt, len(s.ooo), s.rcvBufUsed)
 }

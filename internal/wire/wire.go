@@ -98,6 +98,25 @@ func (f FlowID) Reverse() FlowID { return FlowID{Src: f.Dst, Dst: f.Src} }
 // String renders "src -> dst".
 func (f FlowID) String() string { return f.Src.String() + " -> " + f.Dst.String() }
 
+// TCP option kinds used here (RFC 793 §3.1, RFC 2018 §2-3). Unknown kinds
+// are skipped by length on parse, the way real stacks do.
+const (
+	OptEnd           = 0 // end of option list
+	OptNOP           = 1 // padding
+	OptSACKPermitted = 4 // RFC 2018: "SACK permitted", SYN segments only
+	OptSACK          = 5 // RFC 2018: SACK blocks
+)
+
+// MaxSACKBlocks is the most SACK blocks one header carries. Without a
+// timestamp option the real-world limit is 4 (40 option bytes).
+const MaxSACKBlocks = 4
+
+// SACKBlock is one selectively-acknowledged sequence range [Start, End).
+// RFC 2018 transmits the left and right edge; End is exclusive.
+type SACKBlock struct {
+	Start, End uint32
+}
+
 // ECN codepoints (RFC 3168), the low two bits of the IPv4 ToS byte.
 const (
 	ECNNotECT uint8 = 0b00 // sender does not speak ECN
@@ -115,10 +134,35 @@ type Packet struct {
 	Window  uint16
 	ECN     uint8 // IP-level ECN codepoint (low 2 bits of the ToS byte)
 	Payload []byte
+
+	// SACKPermitted advertises RFC 2018 selective acknowledgments; it is
+	// only meaningful on SYN and SYN-ACK segments.
+	SACKPermitted bool
+	// SACKBlocks carries up to MaxSACKBlocks selectively-acknowledged
+	// ranges (RFC 2018); the first may be a DSACK duplicate report
+	// (RFC 2883). Marshal truncates any excess blocks.
+	SACKBlocks []SACKBlock
+}
+
+// optLen returns the TCP option bytes this packet marshals to, padded to a
+// 4-byte boundary with NOPs.
+func (p *Packet) optLen() int {
+	n := 0
+	if p.SACKPermitted {
+		n += 2
+	}
+	if len(p.SACKBlocks) > 0 {
+		blocks := len(p.SACKBlocks)
+		if blocks > MaxSACKBlocks {
+			blocks = MaxSACKBlocks
+		}
+		n += 2 + 8*blocks
+	}
+	return (n + 3) &^ 3
 }
 
 // WireLen returns the frame's on-the-wire size in bytes.
-func (p *Packet) WireLen() int { return FrameOverhead + len(p.Payload) }
+func (p *Packet) WireLen() int { return FrameOverhead + p.optLen() + len(p.Payload) }
 
 // EndSeq returns the sequence number just past this packet's payload
 // (SYN and FIN each consume one sequence number).
@@ -142,11 +186,13 @@ func (p *Packet) String() string {
 // Marshal serializes the packet into an Ethernet/IPv4/TCP frame with valid
 // IP and TCP checksums.
 func (p *Packet) Marshal() Frame {
-	buf := make(Frame, FrameOverhead+len(p.Payload))
+	optLen := p.optLen()
+	tcpHdrLen := TCPHeaderLen + optLen
+	buf := make(Frame, FrameOverhead+optLen+len(p.Payload))
 	eth := buf[:EthernetHeaderLen]
 	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
-	tcp := buf[EthernetHeaderLen+IPv4HeaderLen : FrameOverhead]
-	copy(buf[FrameOverhead:], p.Payload)
+	tcp := buf[EthernetHeaderLen+IPv4HeaderLen : FrameOverhead+optLen]
+	copy(buf[FrameOverhead+optLen:], p.Payload)
 
 	// Ethernet: synthetic MACs derived from the IPs; type IPv4.
 	copy(eth[0:6], macFor(p.Flow.Dst.IP))
@@ -156,7 +202,7 @@ func (p *Packet) Marshal() Frame {
 	// IPv4.
 	ip[0] = 0x45         // version 4, IHL 5
 	ip[1] = p.ECN & 0b11 // ToS: DSCP 0, ECN codepoint
-	totalLen := IPv4HeaderLen + TCPHeaderLen + len(p.Payload)
+	totalLen := IPv4HeaderLen + tcpHdrLen + len(p.Payload)
 	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
 	ip[8] = 64 // TTL
 	ip[9] = ProtoTCP
@@ -169,13 +215,83 @@ func (p *Packet) Marshal() Frame {
 	binary.BigEndian.PutUint16(tcp[2:4], p.Flow.Dst.Port)
 	binary.BigEndian.PutUint32(tcp[4:8], p.Seq)
 	binary.BigEndian.PutUint32(tcp[8:12], p.Ack)
-	tcp[12] = 5 << 4 // data offset: 5 words
+	tcp[12] = byte(tcpHdrLen/4) << 4 // data offset in words
 	tcp[13] = byte(p.Flags)
 	binary.BigEndian.PutUint16(tcp[14:16], p.Window)
-	sum := tcpChecksum(p.Flow, tcp, buf[FrameOverhead:])
+	p.putOptions(tcp[TCPHeaderLen:tcpHdrLen])
+	sum := tcpChecksum(p.Flow, tcp, buf[FrameOverhead+optLen:])
 	binary.BigEndian.PutUint16(tcp[16:18], sum)
 
 	return buf
+}
+
+// putOptions encodes the TCP options into opt (exactly optLen() bytes),
+// NOP-padding to the 4-byte boundary.
+func (p *Packet) putOptions(opt []byte) {
+	i := 0
+	if p.SACKPermitted {
+		opt[i] = OptSACKPermitted
+		opt[i+1] = 2
+		i += 2
+	}
+	if len(p.SACKBlocks) > 0 {
+		blocks := p.SACKBlocks
+		if len(blocks) > MaxSACKBlocks {
+			blocks = blocks[:MaxSACKBlocks]
+		}
+		opt[i] = OptSACK
+		opt[i+1] = byte(2 + 8*len(blocks))
+		i += 2
+		for _, b := range blocks {
+			binary.BigEndian.PutUint32(opt[i:], b.Start)
+			binary.BigEndian.PutUint32(opt[i+4:], b.End)
+			i += 8
+		}
+	}
+	for ; i < len(opt); i++ {
+		opt[i] = OptNOP
+	}
+}
+
+// parseOptions decodes the TCP option bytes into pkt. Malformed options
+// (a length that is zero, too small, or overruns the header) are an error.
+func parseOptions(opt []byte, pkt *Packet) error {
+	for i := 0; i < len(opt); {
+		kind := opt[i]
+		switch kind {
+		case OptEnd:
+			return nil
+		case OptNOP:
+			i++
+			continue
+		}
+		if i+1 >= len(opt) {
+			return fmt.Errorf("%w: TCP option %d at end of header", ErrBadOption, kind)
+		}
+		l := int(opt[i+1])
+		if l < 2 || i+l > len(opt) {
+			return fmt.Errorf("%w: TCP option %d length %d", ErrBadOption, kind, l)
+		}
+		switch kind {
+		case OptSACKPermitted:
+			if l != 2 {
+				return fmt.Errorf("%w: SACK-permitted length %d", ErrBadOption, l)
+			}
+			pkt.SACKPermitted = true
+		case OptSACK:
+			if l < 10 || (l-2)%8 != 0 {
+				return fmt.Errorf("%w: SACK length %d", ErrBadOption, l)
+			}
+			for j := i + 2; j < i+l; j += 8 {
+				pkt.SACKBlocks = append(pkt.SACKBlocks, SACKBlock{
+					Start: binary.BigEndian.Uint32(opt[j:]),
+					End:   binary.BigEndian.Uint32(opt[j+4:]),
+				})
+			}
+		}
+		i += l
+	}
+	return nil
 }
 
 var (
@@ -187,6 +303,8 @@ var (
 	ErrNotTCP = errors.New("wire: not TCP")
 	// ErrBadChecksum reports an IP or TCP checksum mismatch.
 	ErrBadChecksum = errors.New("wire: bad checksum")
+	// ErrBadOption reports a malformed TCP option list.
+	ErrBadOption = errors.New("wire: bad TCP option")
 )
 
 // Parse decodes and validates a frame produced by Marshal. The returned
@@ -232,7 +350,7 @@ func Parse(buf Frame) (*Packet, error) {
 	if tcpChecksum(flow, tcp, nil) != 0 {
 		return nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
 	}
-	return &Packet{
+	pkt := &Packet{
 		Flow:    flow,
 		Seq:     binary.BigEndian.Uint32(tcp[4:8]),
 		Ack:     binary.BigEndian.Uint32(tcp[8:12]),
@@ -240,7 +358,11 @@ func Parse(buf Frame) (*Packet, error) {
 		Window:  binary.BigEndian.Uint16(tcp[14:16]),
 		ECN:     ip[1] & 0b11,
 		Payload: payload,
-	}, nil
+	}
+	if err := parseOptions(tcp[TCPHeaderLen:dataOff], pkt); err != nil {
+		return nil, err
+	}
+	return pkt, nil
 }
 
 // SetCE rewrites frame's ECN codepoint to CE ("congestion experienced") in
