@@ -58,7 +58,7 @@ alloc-check:
 # One data point on the perf trajectory: every paper benchmark once, in
 # test2json form for machine diffing across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_6.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_7.json
 
 fmt:
 	gofmt -l internal cmd

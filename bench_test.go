@@ -131,3 +131,8 @@ func BenchmarkMTUFlap(b *testing.B) { runExperiment(b, "mtuflap") }
 // durations with and without the scoreboard under both congestion
 // controllers, and the offload re-lock rate the faster repair buys.
 func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }
+
+// BenchmarkChurn runs the connection-churn sweep: cache size × RSS queue
+// count under a front-end-shaped short-lived-flow workload (Fig. 19
+// regime), reporting the context-cache knee and the fallback rate.
+func BenchmarkChurn(b *testing.B) { runExperiment(b, "churn") }

@@ -58,3 +58,30 @@ func register(reg *telemetry.Registry, g *GoodStats, b *BadStats) {
 func merge(dst *MergedStats, src MergedStats) {
 	telemetry.Sum(dst, src)
 }
+
+// QueueStats models the multi-queue NIC pattern: a per-queue counter block
+// registered in a loop (one RegisterCounters call per queue) and merged
+// into a device view with telemetry.Sum. Both witnesses are type-based, so
+// loop registration must satisfy the analyzer with no diagnostic.
+type QueueStats struct {
+	RxPackets uint64
+	TxPackets uint64
+}
+
+type queue struct {
+	Stats QueueStats
+}
+
+func registerQueues(reg *telemetry.Registry, queues []*queue) {
+	for i, q := range queues {
+		reg.RegisterCounters("nic.q"+string(rune('0'+i)), &q.Stats)
+	}
+}
+
+func mergeQueues(queues []*queue) QueueStats {
+	var s QueueStats
+	for _, q := range queues {
+		telemetry.Sum(&s, q.Stats)
+	}
+	return s
+}

@@ -417,7 +417,7 @@ func RunChaosIperf(f ChaosFaults, mode IperfMode, streams, msgSize, recordSize i
 		}
 	}
 	res.harvestRecovery(w.Gen.Stack, recHist)
-	res.NIC = w.Srv.NIC.Stats
+	res.NIC = w.Srv.NIC.Stats()
 	res.CEMarked = w.Link.StatsAtoB().CEMarked
 	res.CEReceived = w.Srv.Stack.Stats.CEReceived
 	res.ECEReceived = w.Gen.Stack.Stats.ECEReceived
@@ -515,7 +515,7 @@ func RunChaosNVMe(f ChaosFaults, offloaded bool, depth, blocks int, dur time.Dur
 	res.harvestRecovery(w.Tgt.Stack, recHist)
 	res.DigestErrors = w.Host.Stats.DigestErrors
 	res.FramingErrors = w.Host.Stats.FramingErrors + w.Ctrl.Stats.FramingErrors
-	res.NIC = w.Srv.NIC.Stats
+	res.NIC = w.Srv.NIC.Stats()
 	// Read responses flow target→server, so the server's stack sees the CE
 	// marks and the target's stack takes the cuts and re-segments.
 	res.CEMarked = w.Back.StatsBtoA().CEMarked

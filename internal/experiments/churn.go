@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/ktls"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/tcpip"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ChurnConfig shapes the connection-churn workload: a CDN/load-balancer
+// front end where short-lived TLS connections arrive continuously, attach
+// offload engines, push a few records, and tear down — evicting each
+// other's NIC contexts. This is the Fig. 19 regime driven by lifecycle
+// pressure instead of a static connection count.
+type ChurnConfig struct {
+	// Queues is the NIC RX/TX queue-pair count (RSS).
+	Queues int
+	// CacheFlows bounds the NIC context cache on both hosts.
+	CacheFlows int
+	// Concurrent is the number of live connection slots the generator
+	// keeps; every completed connection is immediately replaced.
+	Concurrent int
+	// BytesPerConn is the mean payload one connection pushes before
+	// closing (actual sizes jitter ±50% from Seed).
+	BytesPerConn int
+	// RecordSize is the TLS record size (0 = ktls default).
+	RecordSize int
+	// LossProb drops data-direction frames, forcing receive engines out of
+	// sync so churn and loss compound (fallback signal).
+	LossProb float64
+	// Window is the measured virtual-time window.
+	Window time.Duration
+	// Seed drives spawn jitter and per-connection sizes.
+	Seed int64
+}
+
+// ChurnResult is one churn run's outcome.
+type ChurnResult struct {
+	// Conns is connections fully closed inside the window.
+	Conns uint64
+	// Bytes is plaintext delivered at the server inside the window.
+	Bytes uint64
+	// Records and the classification split, summed over every server-side
+	// connection of the run.
+	Records          uint64
+	FallbackRecords  uint64  // software-decrypted (partial or full)
+	FallbackRate     float64 // FallbackRecords / Records
+	CtxHits, CtxMiss uint64  // server-NIC shared-cache traffic
+	HitRate          float64 // CtxHits / (CtxHits + CtxMiss)
+	CtxDMABytes      uint64  // context reload + write-back PCIe traffic
+	CyclesPerByte    float64 // server host cycles per delivered byte
+	// QueueRxPackets shows the RSS spread across server RX queues.
+	QueueRxPackets []uint64
+	// Leaked counts NIC state still held after full drain: cache entries,
+	// engine-map flows, and pending harvest snapshots across both hosts.
+	// Anything non-zero is a lifecycle leak.
+	Leaked int
+}
+
+// RunChurn drives the churn workload and returns the measured window.
+// Everything is deterministic at a fixed Seed: RSS steering is a pure
+// hash, link faults draw from the link's seeded generator, and spawn
+// jitter and connection sizes come from Seed.
+func RunChurn(cfg ChurnConfig) *ChurnResult {
+	if cfg.Concurrent == 0 {
+		cfg.Concurrent = 96
+	}
+	if cfg.BytesPerConn == 0 {
+		cfg.BytesPerConn = 24 << 10
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2 * time.Millisecond
+	}
+	w := NewPairWorld(netsim.LinkConfig{
+		Gbps:    100,
+		Latency: 2 * time.Microsecond,
+		AtoB:    netsim.FaultConfig{LossProb: cfg.LossProb},
+	}, nic.Config{Queues: cfg.Queues, CtxCacheFlows: cfg.CacheFlows})
+	// Short-lived flows on a microsecond fabric need datacenter loss
+	// recovery, not 200 ms RTOs.
+	w.Model.MinRTOMicros = 2000
+	w.Model.MaxRTOMicros = 500000
+	w.Gen.Stack.EnableSACK()
+	w.Srv.Stack.EnableSACK()
+
+	res := &ChurnResult{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 19))
+	cliTLS, srvTLS := TLSKeys(cfg.RecordSize)
+	end := w.Sim.Now() + cfg.Window
+	var delivered uint64
+	var srvConns []*ktls.Conn
+
+	w.Srv.Stack.Listen(5001, func(s *tcpip.Socket) {
+		conn, err := ktls.NewConn(s, srvTLS)
+		if err != nil {
+			panic(err)
+		}
+		if err := conn.EnableRxOffload(w.Srv.NIC); err != nil {
+			panic(err)
+		}
+		conn.OnPlain = func(pc ktls.PlainChunk) { delivered += uint64(len(pc.Data)) }
+		conn.OnError = func(err error) { panic(err) }
+		conn.OnClose = func(c *ktls.Conn) {
+			// Peer closed and every record is processed: destroy the NIC
+			// context (l5o_destroy) and finish the TCP teardown.
+			c.DisableRxOffload()
+			s.Close()
+		}
+		srvConns = append(srvConns, conn)
+	})
+
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	addr := wire.Addr{IP: w.Srv.Stack.IP(), Port: 5001}
+
+	type slot struct{ sock *tcpip.Socket }
+	var spawn func(sl *slot)
+	spawn = func(sl *slot) {
+		if w.Sim.Now() >= end {
+			sl.sock = nil
+			return
+		}
+		total := cfg.BytesPerConn/2 + rng.Intn(cfg.BytesPerConn)
+		var sock *tcpip.Socket
+		sock = w.Gen.Stack.Connect(addr, func(s *tcpip.Socket) {
+			if sl.sock != s {
+				// A handshake watchdog already replaced this connection;
+				// it established late, so just tear it down.
+				s.Close()
+				return
+			}
+			conn, err := ktls.NewConn(s, cliTLS)
+			if err != nil {
+				panic(err)
+			}
+			if err := conn.EnableTxOffload(w.Gen.NIC, false); err != nil {
+				panic(err)
+			}
+			remaining := total
+			pump := func(c *ktls.Conn) {
+				for remaining > 0 {
+					chunk := msg
+					if remaining < len(chunk) {
+						chunk = chunk[:remaining]
+					}
+					n := c.Write(chunk)
+					if n == 0 {
+						return
+					}
+					remaining -= n
+				}
+				c.OnDrain = nil
+				c.Socket().Close()
+			}
+			conn.OnDrain = pump
+			s.OnClose = func(s *tcpip.Socket) {
+				// Fully closed means every offloaded byte was ACKed, so
+				// detaching the transmit context cannot leak plaintext
+				// into a retransmission.
+				conn.DisableTxOffload()
+				if sl.sock == s {
+					if w.Sim.Now() < end {
+						res.Conns++
+					}
+					spawn(sl)
+				}
+			}
+			pump(conn)
+		})
+		sl.sock = sock
+		// Handshake watchdog: a lost SYN would otherwise idle this slot
+		// for a full RTO; a real front end would see the next arrival
+		// immediately. The orphan finishes (or retries) in the background.
+		w.Sim.After(600*time.Microsecond, func() {
+			if sl.sock == sock && !sock.Established() && w.Sim.Now() < end {
+				spawn(sl)
+			}
+		})
+	}
+
+	slots := make([]*slot, cfg.Concurrent)
+	for i := range slots {
+		slots[i] = &slot{}
+		sl := slots[i]
+		// Jittered arrival so slots don't churn in lockstep.
+		w.Sim.After(time.Duration(rng.Intn(100))*time.Microsecond, func() { spawn(sl) })
+	}
+
+	w.Sim.RunFor(cfg.Window)
+
+	// Snapshot the measured window before draining stragglers.
+	res.Bytes = delivered
+	st := w.Srv.NIC.Stats()
+	res.CtxHits, res.CtxMiss = st.CtxCacheHits, st.CtxCacheMiss
+	if st.CtxCacheHits+st.CtxCacheMiss > 0 {
+		res.HitRate = float64(st.CtxCacheHits) / float64(st.CtxCacheHits+st.CtxCacheMiss)
+	}
+	res.CtxDMABytes = w.Srv.Ledger.Get(cycles.PCIe, cycles.CtxDMA).Bytes
+	if res.Bytes > 0 {
+		res.CyclesPerByte = w.Srv.Ledger.HostCycles() / float64(res.Bytes)
+	}
+	for i := 0; i < w.Srv.NIC.NumQueues(); i++ {
+		res.QueueRxPackets = append(res.QueueRxPackets, w.Srv.NIC.Queue(i).Stats.RxPackets)
+	}
+
+	// Drain: no slot respawns past end, so in-flight transfers finish and
+	// every engine detaches. The exit condition is NIC state, not simulator
+	// quiescence: a peer whose socket fully closed sends no RST in this
+	// stack, so the other side may retransmit its FIN on a capped-RTO
+	// timer indefinitely — harmless zombies that hold no NIC state. RTO
+	// backoff after unlucky loss runs to 500 ms, so give stragglers a
+	// couple of seconds of virtual time.
+	nicsDrained := func() bool {
+		for _, n := range []*nic.NIC{w.Gen.NIC, w.Srv.NIC} {
+			if n.CacheLen() > 0 {
+				return false
+			}
+			for i := 0; i < n.NumQueues(); i++ {
+				q := n.Queue(i)
+				tx, rx := q.EngineFlows()
+				if tx+rx+q.HarvestPending() > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 1000 && !nicsDrained(); i++ {
+		w.Sim.RunFor(2 * time.Millisecond)
+	}
+	w.FlushTelemetry()
+
+	for _, c := range srvConns {
+		var s ktls.Stats
+		telemetry.Sum(&s, c.Stats)
+		res.Records += s.RecordsRx
+		res.FallbackRecords += s.RxPartial + s.RxUnoffloaded
+	}
+	if res.Records > 0 {
+		res.FallbackRate = float64(res.FallbackRecords) / float64(res.Records)
+	}
+
+	for _, n := range []*nic.NIC{w.Gen.NIC, w.Srv.NIC} {
+		res.Leaked += n.CacheLen()
+		for i := 0; i < n.NumQueues(); i++ {
+			q := n.Queue(i)
+			tx, rx := q.EngineFlows()
+			res.Leaked += tx + rx + q.HarvestPending()
+		}
+	}
+	return res
+}
+
+// Churn reproduces the Fig. 19 regime under lifecycle pressure: a cache
+// size × queue count sweep over a front-end-shaped churn workload,
+// reporting the context-cache hit rate, the record fallback rate, and
+// host cycles per delivered byte.
+func Churn() []*Table {
+	t := &Table{
+		ID:    "churn",
+		Title: "Connection churn: context-cache pressure (Fig. 19 regime)",
+		Columns: []string{"cache", "queues", "conns", "records",
+			"fallback", "ctx hit", "ctx KiB", "cyc/B", "leaked"},
+	}
+	for _, queues := range []int{1, 4} {
+		for _, cache := range []int{8, 24, 64, 128, 256} {
+			r := RunChurn(ChurnConfig{
+				Queues:     queues,
+				CacheFlows: cache,
+				Concurrent: 192,
+				LossProb:   0.01,
+				Seed:       7,
+			})
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cache), fmt.Sprint(queues),
+				fmt.Sprint(r.Conns), fmt.Sprint(r.Records),
+				pct(r.FallbackRate), pct(r.HitRate),
+				f0(float64(r.CtxDMABytes) / 1024),
+				f1(r.CyclesPerByte), fmt.Sprint(r.Leaked),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"192 live slots, ~24KiB/conn, 1% data loss; cache below the live-flow count thrashes (hit rate drops to the burst-locality floor, ctx DMA more than doubles), above it only the per-connection compulsory miss remains",
+		"the cache is shared device-wide: queue count moves steering, not capacity — leaked must be 0")
+	return []*Table{t}
+}

@@ -143,7 +143,7 @@ func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) 
 	w.Link.SetFaultsAtoB(f.linkFaults(w.Sim.Now()))
 	armMTUFlaps(w.Sim, w.Sim.Now(), w.Link, f.MTUFlaps, w.Gen.Stack, w.Srv.Stack)
 	w.Sim.RunFor(dur)
-	return plain, w.Srv.NIC.Stats, failure
+	return plain, w.Srv.NIC.Stats(), failure
 }
 
 // TestOffloadEquivalenceSoak is the soak proper: over equivSeeds randomized

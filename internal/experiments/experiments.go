@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"ecn", "ECN marking: CE->ECE->CWR chain under offload", ECN},
 		{"mtuflap", "Mid-flow MTU changes: re-segmentation vs offload resync", MTUFlapScenario},
 		{"recovery", "SACK/DSACK loss recovery: episode latency and offload re-lock", Recovery},
+		{"churn", "Connection churn: context-cache pressure across RSS queues", Churn},
 	}
 }
 

@@ -34,8 +34,8 @@ func TestTablePrinting(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 24 {
-		t.Errorf("expected 24 experiments, got %d", len(All()))
+	if len(All()) != 25 {
+		t.Errorf("expected 25 experiments, got %d", len(All()))
 	}
 	if _, ok := ByID("fig13"); !ok {
 		t.Error("fig13 missing from registry")
@@ -217,7 +217,7 @@ func TestFig19NoCliff(t *testing.T) {
 			nicConfigWithCache(64))
 		res := RunHTTPC2(w, httpMode(3), conns, 64<<10, time.Millisecond)
 		miss := 0.0
-		st := w.Srv.NIC.Stats
+		st := w.Srv.NIC.Stats()
 		if st.CtxCacheHits+st.CtxCacheMiss > 0 {
 			miss = float64(st.CtxCacheMiss) / float64(st.CtxCacheHits+st.CtxCacheMiss)
 		}

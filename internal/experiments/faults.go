@@ -181,7 +181,7 @@ func Fig19() []*Table {
 			eight := nCoreGbps(&w.Model, res.Srv, res.Bytes, 8)
 			busy := w.Model.BusyCores(res.Srv, res.Bytes, eight)
 			missPct := 0.0
-			st := w.Srv.NIC.Stats
+			st := w.Srv.NIC.Stats()
 			if st.CtxCacheHits+st.CtxCacheMiss > 0 {
 				missPct = float64(st.CtxCacheMiss) / float64(st.CtxCacheHits+st.CtxCacheMiss)
 			}

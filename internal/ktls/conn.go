@@ -230,6 +230,34 @@ func (c *Conn) InstallRxEngine(dev Device, ops *RxOps, resync func(uint32)) *off
 	return c.rxEngine
 }
 
+// DisableTxOffload detaches the transmit engine from the NIC
+// (l5o_destroy). Only safe once every offloaded byte has been ACKed: the
+// NIC encrypts at transmit time, so a retransmission after detach would
+// leak plaintext. Callers detach after the socket drains — connection
+// teardown under churn is the expected site.
+func (c *Conn) DisableTxOffload() {
+	if !c.txOffload {
+		return
+	}
+	c.dev.DetachTx(c.sock.Flow())
+	c.txOffload = false
+	c.txEngine = nil
+}
+
+// DisableRxOffload detaches the receive engine (l5o_destroy). Records
+// already decrypted stay decrypted; anything arriving afterwards takes the
+// software path, so it is safe at any point — teardown under churn is the
+// expected site.
+func (c *Conn) DisableRxOffload() {
+	if !c.rxOffload {
+		return
+	}
+	c.dev.DetachRx(c.sock.Flow().Reverse())
+	c.rxOffload = false
+	c.rxEngine = nil
+	c.rxOps = nil
+}
+
 // ResyncRequestFunc exposes the connection's l5o_resync_rx_req upcall
 // target for custom engine installation.
 func (c *Conn) ResyncRequestFunc() func(uint32) { return c.resyncRequested }

@@ -34,6 +34,12 @@ const (
 	// DPIScanned marks payload the DPI engine pattern-matched in sequence
 	// (§7); the match results travel out of band through the match sink.
 	DPIScanned
+	// RxChecksumBad marks a packet whose IP or TCP checksum failed NIC
+	// validation but was delivered anyway (nic.Config.DropRxChecksumErrors
+	// false, the behaviour of devices without checksum-drop): the stack
+	// must validate in software, count the failure, and discard the packet
+	// before any socket sees it.
+	RxChecksumBad
 )
 
 var flagNames = []struct {
@@ -47,6 +53,7 @@ var flagNames = []struct {
 	{NVMeCRCOK, "nvme-crc-ok"},
 	{NVMePlaced, "nvme-placed"},
 	{DPIScanned, "dpi-scanned"},
+	{RxChecksumBad, "csum-bad"},
 }
 
 // String renders the set flags for debugging.

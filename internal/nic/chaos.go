@@ -56,20 +56,22 @@ func newChaosState(cfg *ChaosConfig) *chaosState {
 }
 
 // stallDrop reports whether this arriving frame falls into a ring stall,
-// updating the stall window and counters.
-func (n *NIC) stallDrop() bool {
+// updating the stall window and counters. The stall window is device-wide
+// (one seeded generator, one descriptor shortage) but the drop is counted
+// on the queue the frame steered to.
+func (n *NIC) stallDrop(q *Queue) bool {
 	c := n.chaos
 	if c == nil || c.cfg.RxStallProb <= 0 {
 		return false
 	}
 	if c.stallLeft > 0 {
 		c.stallLeft--
-		n.Stats.RxRingStallDrops++
+		q.Stats.RxRingStallDrops++
 		return true
 	}
 	if c.rng.Float64() < c.cfg.RxStallProb {
-		n.Stats.RxRingStalls++
-		n.Stats.RxRingStallDrops++
+		q.Stats.RxRingStalls++
+		q.Stats.RxRingStallDrops++
 		c.stallLeft = c.stallFrames - 1
 		return true
 	}
@@ -101,27 +103,27 @@ type rxSeen struct {
 }
 
 // harvestRx folds an engine's degradation and FSM-transition counters into
-// the device stats. Called after each Process and at detach, it catches
-// increments that happen between packets too (e.g. a fallback tripped by a
-// resync response).
-func (n *NIC) harvestRx(e *offload.RxEngine) {
-	seen := n.rxSeen[e]
+// the stats of the queue running it. Called after each Process and at
+// detach, it catches increments that happen between packets too (e.g. a
+// fallback tripped by a resync response).
+func (q *Queue) harvestRx(e *offload.RxEngine) {
+	seen := q.rxSeen[e]
 	if d := e.Stats.Fallbacks - seen.fallbacks; d > 0 {
-		n.Stats.RxFallbacks += d
+		q.Stats.RxFallbacks += d
 	}
 	if d := e.Stats.CorruptionDrops - seen.corruptionDrops; d > 0 {
-		n.Stats.RxCorruptionDrops += d
+		q.Stats.RxCorruptionDrops += d
 	}
 	if d := e.Stats.EnterSearching - seen.searches; d > 0 {
-		n.Stats.RxSearches += d
+		q.Stats.RxSearches += d
 	}
 	if d := e.Stats.EnterTracking - seen.tracks; d > 0 {
-		n.Stats.RxTracks += d
+		q.Stats.RxTracks += d
 	}
 	if d := e.Stats.Resumes - seen.resumes; d > 0 {
-		n.Stats.RxResumes += d
+		q.Stats.RxResumes += d
 	}
-	n.rxSeen[e] = rxSeen{
+	q.rxSeen[e] = rxSeen{
 		fallbacks:       e.Stats.Fallbacks,
 		corruptionDrops: e.Stats.CorruptionDrops,
 		searches:        e.Stats.EnterSearching,

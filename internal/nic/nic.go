@@ -7,10 +7,18 @@
 // attaches generic offload engines (offload.TxEngine / offload.RxEngine)
 // per flow — the l5o_create/l5o_destroy surface of Listing 1 — and the NIC
 // runs them over every matching packet.
+//
+// The device is multi-queue: flows spread over Config.Queues RX/TX queue
+// pairs by an RSS-style hash of the flow id (wire.FlowID.Hash), the way
+// real NICs steer. Each queue owns its offload-engine maps and its Stats
+// block; the bounded context cache is shared device-wide, because flow
+// contexts live in NIC memory, not queue memory — which is exactly why
+// connection churn on one queue can evict another queue's contexts.
 package nic
 
 import (
 	"container/list"
+	"strconv"
 
 	"repro/internal/cycles"
 	"repro/internal/meta"
@@ -27,20 +35,28 @@ type Config struct {
 	// is charged to the cycles.NIC and cycles.PCIe components.
 	Model  *cycles.Model
 	Ledger *cycles.Ledger
+	// Queues is the number of RX/TX queue pairs (RSS). Flows hash to a
+	// queue with wire.FlowID.Hash; 0 or 1 means a single queue.
+	Queues int
 	// CtxCacheFlows bounds the on-NIC context cache (number of flow
 	// contexts held). Zero means unbounded. The paper's ConnectX-6 Dx
-	// holds at most ≈20 K flows in 4 MiB (§6.5).
+	// holds at most ≈20 K flows in 4 MiB (§6.5). The cache is shared by
+	// all queues.
 	CtxCacheFlows int
 	// CtxBytes is the size of one flow context (208 B in the paper).
 	CtxBytes int
 	// DropRxChecksumErrors silently discards frames that fail IP/TCP
-	// checksums (default behaviour of real NICs).
+	// checksums (default behaviour of real NICs). When false, the frame is
+	// still DMA'd to the host, flagged meta.RxChecksumBad, and the stack
+	// validates in software and counts the failure — the behaviour of a
+	// device whose checksum offload only reports a verdict.
 	DropRxChecksumErrors bool
 	// Chaos, when set, injects NIC-internal faults (chaos.go).
 	Chaos *ChaosConfig
 }
 
-// Stats counts device events.
+// Stats counts device events. Each queue carries its own block; NIC.Stats
+// merges them into the whole-device view.
 type Stats struct {
 	TxPackets     uint64
 	RxPackets     uint64
@@ -59,8 +75,9 @@ type Stats struct {
 	RxCorruptionDrops uint64 // messages rx engines rejected as corrupt
 
 	// Receive-engine FSM transition counters, harvested from every engine
-	// this NIC has run (Fig. 7): how often flows lost sync, how often they
-	// entered candidate tracking, and how often they resumed offloading.
+	// this queue has run (Fig. 7): how often flows lost sync, how often
+	// they entered candidate tracking, and how often they resumed
+	// offloading.
 	RxSearches uint64
 	RxTracks   uint64
 	RxResumes  uint64
@@ -70,30 +87,55 @@ type Stats struct {
 	RxCEMarks uint64
 }
 
+// Queue is one RX/TX queue pair. Flows are steered here by the RSS hash;
+// the queue owns the offload engines and accounting for its flows, while
+// the context cache stays shared on the NIC.
+type Queue struct {
+	id  int
+	nic *NIC
+
+	tx     map[wire.FlowID][]*offload.TxEngine
+	rx     map[wire.FlowID][]*offload.RxEngine
+	rxSeen map[*offload.RxEngine]rxSeen
+
+	// Stats is exported for experiments and registered per queue with the
+	// telemetry registry; treat as read-only. NIC.Stats() returns every
+	// queue merged.
+	Stats Stats
+}
+
+// ID returns the queue's index.
+func (q *Queue) ID() int { return q.id }
+
+// EngineFlows returns the number of flows with attached transmit and
+// receive engines on this queue. Leak checks churn attach/detach and
+// assert these return to baseline.
+func (q *Queue) EngineFlows() (tx, rx int) { return len(q.tx), len(q.rx) }
+
+// HarvestPending returns the number of engines with harvest snapshots
+// still held (rxSeen entries); it must track attached rx engines, or
+// detach leaked.
+func (q *Queue) HarvestPending() int { return len(q.rxSeen) }
+
 // NIC is one host's network device.
 type NIC struct {
 	cfg   Config
 	stack *tcpip.Stack
 	send  func(frame wire.Frame)
 
-	tx map[wire.FlowID][]*offload.TxEngine
-	rx map[wire.FlowID][]*offload.RxEngine
+	queues []*Queue
 
-	// Context cache (LRU by flow+direction key).
+	// Context cache (LRU by flow+direction key), shared by all queues.
 	cacheList *list.List
 	cacheMap  map[cacheKey]*list.Element
 
-	chaos  *chaosState
-	rxSeen map[*offload.RxEngine]rxSeen
+	chaos *chaosState
 
 	tracer *telemetry.Tracer
 	reg    *telemetry.Registry
 	label  string
 	rxTid  string // precomputed engine track labels
 	txTid  string
-
-	// Stats is exported for experiments; treat as read-only.
-	Stats Stats
 }
 
 type cacheKey struct {
@@ -108,16 +150,25 @@ func New(stack *tcpip.Stack, send func(frame wire.Frame), cfg Config) *NIC {
 	if cfg.CtxBytes == 0 {
 		cfg.CtxBytes = 208
 	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
 	n := &NIC{
 		cfg:       cfg,
 		stack:     stack,
 		send:      send,
-		tx:        make(map[wire.FlowID][]*offload.TxEngine),
-		rx:        make(map[wire.FlowID][]*offload.RxEngine),
 		cacheList: list.New(),
 		cacheMap:  make(map[cacheKey]*list.Element),
 		chaos:     newChaosState(cfg.Chaos),
-		rxSeen:    make(map[*offload.RxEngine]rxSeen),
+	}
+	for i := 0; i < cfg.Queues; i++ {
+		n.queues = append(n.queues, &Queue{
+			id:     i,
+			nic:    n,
+			tx:     make(map[wire.FlowID][]*offload.TxEngine),
+			rx:     make(map[wire.FlowID][]*offload.RxEngine),
+			rxSeen: make(map[*offload.RxEngine]rxSeen),
+		})
 	}
 	stack.SetDevice(n)
 	return n
@@ -128,11 +179,39 @@ var (
 	_ netsim.Endpoint = (*NIC)(nil)
 )
 
-// SetTelemetry connects this NIC to the run's telemetry: its counters are
-// registered under label, DMA-level events trace onto the label track, and
-// every offload engine attached afterwards is wired in too (engines attach
-// at connection establishment, so call this right after building the
-// host). Either argument may be nil.
+// NumQueues returns the number of RX/TX queue pairs.
+func (n *NIC) NumQueues() int { return len(n.queues) }
+
+// Queue returns queue i, for per-queue inspection in experiments.
+func (n *NIC) Queue(i int) *Queue { return n.queues[i] }
+
+// QueueFor returns the queue the flow steers to: RSS hashing over the
+// 4-tuple, a pure function of the flow so steering is identical run to run.
+func (n *NIC) QueueFor(flow wire.FlowID) *Queue {
+	if len(n.queues) == 1 {
+		return n.queues[0]
+	}
+	return n.queues[flow.Hash()%uint32(len(n.queues))]
+}
+
+// Stats returns all queues' counters merged into the whole-device view.
+func (n *NIC) Stats() Stats {
+	var s Stats
+	for _, q := range n.queues {
+		telemetry.Sum(&s, q.Stats)
+	}
+	return s
+}
+
+// CacheLen returns the number of flow contexts currently held in the
+// shared context cache (for leak checks and experiments).
+func (n *NIC) CacheLen() int { return n.cacheList.Len() }
+
+// SetTelemetry connects this NIC to the run's telemetry: per-queue counter
+// blocks are registered under label.q<i>, DMA-level events trace onto the
+// label track, and every offload engine attached afterwards is wired in
+// too (engines attach at connection establishment, so call this right
+// after building the host). Either argument may be nil.
 func (n *NIC) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, label string) {
 	n.tracer = tr
 	n.reg = reg
@@ -140,17 +219,21 @@ func (n *NIC) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, label 
 	n.rxTid = label + ".rx"
 	n.txTid = label + ".tx"
 	if reg != nil {
-		reg.RegisterCounters(label, &n.Stats)
+		for _, q := range n.queues {
+			reg.RegisterCounters(label+".q"+strconv.Itoa(q.id), &q.Stats)
+		}
 	}
 }
 
 // FlushTelemetry closes out per-engine time-in-state accounting. Call once
 // after traffic stops, before exporting metrics.
 func (n *NIC) FlushTelemetry() {
-	for _, engines := range n.rx {
-		for _, e := range engines {
-			n.harvestRx(e)
-			e.FlushTelemetry()
+	for _, q := range n.queues {
+		for _, engines := range q.rx {
+			for _, e := range engines {
+				q.harvestRx(e)
+				e.FlushTelemetry()
+			}
 		}
 	}
 }
@@ -160,7 +243,8 @@ func (n *NIC) FlushTelemetry() {
 // before the TLS engine on transmit (§5.3).
 func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
 	e.EnableTelemetry(n.tracer, n.txTid)
-	n.tx[flow] = append(n.tx[flow], e)
+	q := n.QueueFor(flow)
+	q.tx[flow] = append(q.tx[flow], e)
 }
 
 // AttachRx installs a receive offload engine for a flow as seen in arriving
@@ -169,37 +253,46 @@ func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
 func (n *NIC) AttachRx(flow wire.FlowID, e *offload.RxEngine) {
 	n.installEngineChaos(e)
 	e.EnableTelemetry(n.tracer, n.reg, n.rxTid)
-	n.rx[flow] = append(n.rx[flow], e)
+	q := n.QueueFor(flow)
+	q.rx[flow] = append(q.rx[flow], e)
 }
 
-// DetachTx removes all transmit engines for the flow (l5o_destroy).
+// DetachTx removes all transmit engines for the flow (l5o_destroy) and
+// drops its context from the shared cache. Steering is a pure hash, so the
+// detach lands on the queue the attach used.
 func (n *NIC) DetachTx(flow wire.FlowID) {
-	delete(n.tx, flow)
+	q := n.QueueFor(flow)
+	delete(q.tx, flow)
 	n.cacheDrop(cacheKey{flow: flow})
 }
 
-// DetachRx removes all receive engines for the flow.
+// DetachRx removes all receive engines for the flow, harvesting their
+// final counters, and drops the flow's receive context from the shared
+// cache.
 func (n *NIC) DetachRx(flow wire.FlowID) {
-	for _, e := range n.rx[flow] {
+	q := n.QueueFor(flow)
+	for _, e := range q.rx[flow] {
 		e.FlushTelemetry()
-		n.harvestRx(e)
-		delete(n.rxSeen, e)
+		q.harvestRx(e)
+		delete(q.rxSeen, e)
 	}
-	delete(n.rx, flow)
+	delete(q.rx, flow)
 	n.cacheDrop(cacheKey{flow: flow, rx: true})
 }
 
-// Transmit implements tcpip.NetDevice: the driver posts the packet, offload
-// engines transform the payload in place, and the frame goes on the wire.
+// Transmit implements tcpip.NetDevice: the driver posts the packet on the
+// flow's queue, offload engines transform the payload in place, and the
+// frame goes on the wire.
 func (n *NIC) Transmit(pkt *wire.Packet) {
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
-	n.Stats.TxPackets++
+	q := n.QueueFor(pkt.Flow)
+	q.Stats.TxPackets++
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
 
-	engines := n.tx[pkt.Flow]
+	engines := q.tx[pkt.Flow]
 	if len(engines) > 0 && len(pkt.Payload) > 0 {
-		n.cacheTouch(cacheKey{flow: pkt.Flow})
+		n.cacheTouch(q, cacheKey{flow: pkt.Flow})
 		for _, e := range engines {
 			before := e.Stats.RecoveryDMABytes
 			recovered := e.Stats.Recoveries
@@ -207,7 +300,7 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 			if dma := e.Stats.RecoveryDMABytes - before; dma > 0 {
 				// Context recovery re-read host memory over PCIe (Fig. 6)
 				// and posted a special resync descriptor (§4.1).
-				n.Stats.TxRecoveryDMA += dma
+				q.Stats.TxRecoveryDMA += dma
 				lg.Charge(cycles.PCIe, cycles.CtxDMA, 0, int(dma))
 			}
 			if e.Stats.Recoveries > recovered {
@@ -217,69 +310,91 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 	}
 
 	frame := pkt.Marshal()
-	n.Stats.TxBytes += uint64(len(frame))
+	q.Stats.TxBytes += uint64(len(frame))
 	// Packet payload and descriptor cross PCIe by DMA.
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
 	n.tracer.Instant2("dma", "dma.tx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
 	n.send(frame)
 }
 
-// DeliverFrame implements netsim.Endpoint: parse, verify checksums, run
-// receive offload engines, and hand the packet with its verdict flags to
-// the stack.
+// DeliverFrame implements netsim.Endpoint: parse the frame (hardware
+// computes the RSS hash from the headers before anything else, so queue
+// selection precedes the checksum verdict), verify checksums, run the
+// queue's receive offload engines, and hand the packet with its verdict
+// flags to the stack.
 func (n *NIC) DeliverFrame(frame wire.Frame) {
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
-	if n.stallDrop() {
+	pkt, err := wire.Parse(frame)
+	// Frames too mangled to carry a flow steer to queue 0 by convention.
+	q := n.queues[0]
+	if pkt != nil {
+		q = n.QueueFor(pkt.Flow)
+	}
+	if n.stallDrop(q) {
 		return // receive ring stalled: frame lost, TCP will retransmit
 	}
-	pkt, err := wire.Parse(frame)
 	if err != nil {
-		n.Stats.RxBadFrames++
-		if n.cfg.DropRxChecksumErrors {
+		q.Stats.RxBadFrames++
+		if pkt == nil || n.cfg.DropRxChecksumErrors {
+			// Unparseable, or the device is configured to discard checksum
+			// failures itself (the default of real NICs).
 			return
 		}
+		// Checksum offload flagged the frame bad but the device delivers
+		// anyway: the frame is DMA'd up like any other and the stack
+		// validates in software. Offload engines never see it — they only
+		// run over verified payload.
+		q.Stats.RxPackets++
+		q.Stats.RxBytes += uint64(len(frame))
+		lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
+		lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+		n.tracer.Instant2("dma", "dma.rx.bad", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
+		n.stack.Input(pkt, meta.RxChecksumBad)
 		return
 	}
-	n.Stats.RxPackets++
-	n.Stats.RxBytes += uint64(len(frame))
+	q.Stats.RxPackets++
+	q.Stats.RxBytes += uint64(len(frame))
 	if pkt.ECN == wire.ECNCE {
-		n.Stats.RxCEMarks++
+		q.Stats.RxCEMarks++
 	}
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
 	n.tracer.Instant2("dma", "dma.rx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
 
 	var flags meta.RxFlags
-	if engines := n.rx[pkt.Flow]; len(engines) > 0 && len(pkt.Payload) > 0 {
-		n.cacheTouch(cacheKey{flow: pkt.Flow, rx: true})
+	if engines := q.rx[pkt.Flow]; len(engines) > 0 && len(pkt.Payload) > 0 {
+		n.cacheTouch(q, cacheKey{flow: pkt.Flow, rx: true})
 		for _, e := range engines {
 			flags |= e.Process(pkt.Seq, pkt.Payload, false)
-			n.harvestRx(e)
+			q.harvestRx(e)
 		}
 	}
 	n.stack.Input(pkt, flags)
 }
 
 // cacheTouch models the bounded on-NIC context cache: a miss means the
-// context was evicted to host memory and must be reloaded over PCIe.
-func (n *NIC) cacheTouch(k cacheKey) {
+// context was evicted to host memory and must be reloaded over PCIe. The
+// LRU is shared device-wide; hits, misses, and invalidations are charged
+// to the queue whose flow touched it.
+func (n *NIC) cacheTouch(q *Queue, k cacheKey) {
 	if n.cfg.CtxCacheFlows <= 0 {
 		return
 	}
 	if c := n.chaos; c != nil && c.cfg.CtxInvalidateProb > 0 &&
 		c.rng.Float64() < c.cfg.CtxInvalidateProb {
-		// Firmware hiccup: every cached context is gone at once.
-		n.Stats.CtxInvalidations++
+		// Firmware hiccup: every cached context is gone at once — every
+		// queue's, since the cache is device memory.
+		q.Stats.CtxInvalidations++
 		n.cacheList.Init()
 		n.cacheMap = make(map[cacheKey]*list.Element)
 	}
 	if el, ok := n.cacheMap[k]; ok {
 		n.cacheList.MoveToFront(el)
-		n.Stats.CtxCacheHits++
+		q.Stats.CtxCacheHits++
 		return
 	}
-	n.Stats.CtxCacheMiss++
+	q.Stats.CtxCacheMiss++
 	n.tracer.Instant1("dma", "ctx.miss", n.label, "bytes", int64(n.cfg.CtxBytes))
 	n.cfg.Ledger.Charge(cycles.PCIe, cycles.CtxDMA, 0, n.cfg.CtxBytes)
 	n.cacheMap[k] = n.cacheList.PushFront(k)

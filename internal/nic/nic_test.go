@@ -84,8 +84,8 @@ func TestPlainForwarding(t *testing.T) {
 	if string(got) != "hello through the NIC" {
 		t.Fatalf("got %q", got)
 	}
-	if na.Stats.TxPackets == 0 || nb.Stats.RxPackets == 0 {
-		t.Errorf("NIC stats empty: tx=%d rx=%d", na.Stats.TxPackets, nb.Stats.RxPackets)
+	if na.Stats().TxPackets == 0 || nb.Stats().RxPackets == 0 {
+		t.Errorf("NIC stats empty: tx=%d rx=%d", na.Stats().TxPackets, nb.Stats().RxPackets)
 	}
 }
 
@@ -185,8 +185,8 @@ func TestContextCacheEviction(t *testing.T) {
 			sim.RunUntil(sim.Now() + 10*time.Millisecond)
 		}
 	}
-	if nb.Stats.CtxCacheMiss < uint64(conns) {
-		t.Errorf("expected eviction misses, got %d", nb.Stats.CtxCacheMiss)
+	if nb.Stats().CtxCacheMiss < uint64(conns) {
+		t.Errorf("expected eviction misses, got %d", nb.Stats().CtxCacheMiss)
 	}
 	if nb.cfg.Ledger.PCIeBytes(cycles.CtxDMA) == 0 {
 		t.Error("misses charged no context DMA")
@@ -196,7 +196,7 @@ func TestContextCacheEviction(t *testing.T) {
 func TestBadFramesCounted(t *testing.T) {
 	_, _, _, _, nb := world(t, Config{})
 	nb.DeliverFrame([]byte{1, 2, 3})
-	if nb.Stats.RxBadFrames != 1 {
-		t.Errorf("RxBadFrames = %d", nb.Stats.RxBadFrames)
+	if nb.Stats().RxBadFrames != 1 {
+		t.Errorf("RxBadFrames = %d", nb.Stats().RxBadFrames)
 	}
 }

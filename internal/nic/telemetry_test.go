@@ -44,8 +44,8 @@ func TestFSMCountersHarvested(t *testing.T) {
 	eng.NoteAuthFailure()
 	nb.DetachRx(flow)
 
-	if nb.Stats.RxFallbacks != 1 {
-		t.Errorf("RxFallbacks=%d, want 1", nb.Stats.RxFallbacks)
+	if nb.Stats().RxFallbacks != 1 {
+		t.Errorf("RxFallbacks=%d, want 1", nb.Stats().RxFallbacks)
 	}
 }
 
@@ -87,7 +87,7 @@ func TestNICTraceEvents(t *testing.T) {
 	}
 
 	snap := reg.Snapshot()
-	if snap.Get("srv.nic.RxPackets") == 0 {
+	if snap.Get("srv.nic.q0.RxPackets") == 0 {
 		t.Errorf("registered NIC counters missing from snapshot: %+v", snap.Counters)
 	}
 }

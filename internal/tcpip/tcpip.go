@@ -109,6 +109,12 @@ type StackStats struct {
 	SpuriousRTOs       uint64 // timeouts proven spurious by DSACK evidence
 	Undos              uint64 // cwnd/ssthresh restorations after spurious RTOs
 	RecoveryEpisodes   uint64 // completed loss-recovery episodes
+
+	// ChecksumErrors counts packets the NIC delivered flagged
+	// meta.RxChecksumBad (DropRxChecksumErrors=false): the stack validates
+	// in software, counts the failure here, and discards before any socket
+	// sees the packet.
+	ChecksumErrors uint64
 }
 
 // NewStack creates a stack for the host with the given IP. The ledger
@@ -327,6 +333,15 @@ func (st *Stack) newSocket(flow wire.FlowID) *Socket {
 // Input delivers a received, already-parsed packet from the NIC, together
 // with the NIC's per-packet offload verdict flags.
 func (st *Stack) Input(pkt *wire.Packet, flags meta.RxFlags) {
+	if flags&meta.RxChecksumBad != 0 {
+		// The device delivered a frame its checksum offload flagged bad
+		// (DropRxChecksumErrors=false). Software validation re-walks the
+		// packet — charge a stack-receive pass — confirms the verdict, and
+		// discards before demux: no socket may act on corrupt headers.
+		st.Stats.ChecksumErrors++
+		st.ledger.Charge(cycles.HostTCP, cycles.StackRx, st.model.StackRxPerPacket, len(pkt.Payload))
+		return
+	}
 	st.Stats.PacketsIn++
 	rxCost := st.model.StackRxPerPacket
 	if len(pkt.Payload) == 0 {

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlowIDHashDeterministicAndSpread(t *testing.T) {
+	base := FlowID{
+		Src: Addr{IP: [4]byte{10, 0, 0, 1}, Port: 41000},
+		Dst: Addr{IP: [4]byte{10, 0, 0, 2}, Port: 80},
+	}
+	if base.Hash() != base.Hash() {
+		t.Fatal("Hash is not a pure function of the flow")
+	}
+	if base.Hash() == base.Reverse().Hash() {
+		t.Error("reverse flow hashed identically (directions must steer independently)")
+	}
+	// Varying only the source port must spread over a small queue count:
+	// this is what RSS steering keys on under connection churn.
+	for _, queues := range []uint32{2, 4, 8} {
+		used := map[uint32]bool{}
+		f := base
+		for p := 0; p < 64; p++ {
+			f.Src.Port = uint16(41000 + p)
+			used[f.Hash()%queues] = true
+		}
+		if len(used) < 2 {
+			t.Errorf("64 ports landed on %d of %d queues", len(used), queues)
+		}
+	}
+}
+
+func TestParseBadChecksumReturnsPacket(t *testing.T) {
+	flow := FlowID{
+		Src: Addr{IP: [4]byte{10, 0, 0, 1}, Port: 41000},
+		Dst: Addr{IP: [4]byte{10, 0, 0, 2}, Port: 80},
+	}
+	mk := func() Frame {
+		return (&Packet{Flow: flow, Seq: 7, Flags: FlagACK, Payload: []byte("payload")}).Marshal()
+	}
+
+	t.Run("tcp-payload", func(t *testing.T) {
+		frame := mk()
+		buf := []byte(frame)
+		buf[len(buf)-1] ^= 0x01
+		pkt, err := Parse(frame)
+		if !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+		if pkt == nil {
+			t.Fatal("checksum failure returned no packet: the NIC cannot steer or deliver it")
+		}
+		if pkt.Flow != flow || pkt.Seq != 7 {
+			t.Errorf("best-effort packet mangled: flow=%v seq=%d", pkt.Flow, pkt.Seq)
+		}
+	})
+
+	t.Run("ip-header", func(t *testing.T) {
+		frame := mk()
+		buf := []byte(frame)
+		buf[EthernetHeaderLen+1] ^= 0x40 // IP TOS byte: header checksum fails
+		pkt, err := Parse(frame)
+		if !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+		if pkt == nil || pkt.Flow != flow {
+			t.Errorf("best-effort packet missing or mangled: %+v", pkt)
+		}
+	})
+
+	t.Run("truncated-still-nil", func(t *testing.T) {
+		pkt, err := Parse(Frame([]byte{1, 2, 3}))
+		if err == nil || pkt != nil {
+			t.Errorf("truncated frame: pkt=%v err=%v, want nil packet", pkt, err)
+		}
+	})
+}

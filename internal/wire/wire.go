@@ -95,6 +95,34 @@ type FlowID struct {
 // Reverse returns the flow for the opposite direction.
 func (f FlowID) Reverse() FlowID { return FlowID{Src: f.Dst, Dst: f.Src} }
 
+// Hash returns a deterministic RSS-style hash of the 4-tuple (FNV-1a over
+// source and destination address and port). Multi-queue NICs use it to
+// spread flows over receive/transmit queue pairs. It is a pure function of
+// the FlowID — no per-run key material — so a flow lands on the same queue
+// in every run, which is what keeps multi-queue simulations deterministic.
+func (f FlowID) Hash() uint32 {
+	const (
+		fnvOffset32 = 2166136261
+		fnvPrime32  = 16777619
+	)
+	h := uint32(fnvOffset32)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	for _, b := range f.Src.IP {
+		mix(b)
+	}
+	mix(byte(f.Src.Port >> 8))
+	mix(byte(f.Src.Port))
+	for _, b := range f.Dst.IP {
+		mix(b)
+	}
+	mix(byte(f.Dst.Port >> 8))
+	mix(byte(f.Dst.Port))
+	return h
+}
+
 // String renders "src -> dst".
 func (f FlowID) String() string { return f.Src.String() + " -> " + f.Dst.String() }
 
@@ -309,6 +337,14 @@ var (
 
 // Parse decodes and validates a frame produced by Marshal. The returned
 // packet's Payload aliases buf.
+//
+// Checksum failures are special: the frame still parsed structurally, so
+// Parse returns the best-effort packet alongside an ErrBadChecksum error.
+// This is how real receive hardware behaves — the checksum verdict is a
+// flag on an otherwise-delivered frame, and a NIC configured not to drop
+// (nic.Config.DropRxChecksumErrors = false) hands the packet to software
+// for validation. All other errors return a nil packet. Callers that treat
+// any non-nil error as a drop keep their existing behaviour.
 func Parse(buf Frame) (*Packet, error) {
 	if len(buf) < FrameOverhead {
 		return nil, ErrTruncated
@@ -325,8 +361,9 @@ func Parse(buf Frame) (*Packet, error) {
 	if ihl < IPv4HeaderLen || len(ip) < ihl {
 		return nil, ErrTruncated
 	}
+	var sumErr error
 	if internetChecksum(ip[:ihl], 0) != 0 {
-		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+		sumErr = fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
 	}
 	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
 	if totalLen > len(ip) || totalLen < ihl+TCPHeaderLen {
@@ -347,8 +384,8 @@ func Parse(buf Frame) (*Packet, error) {
 	payload := tcp[dataOff:]
 	flow.Src.Port = binary.BigEndian.Uint16(tcp[0:2])
 	flow.Dst.Port = binary.BigEndian.Uint16(tcp[2:4])
-	if tcpChecksum(flow, tcp, nil) != 0 {
-		return nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
+	if sumErr == nil && tcpChecksum(flow, tcp, nil) != 0 {
+		sumErr = fmt.Errorf("%w: TCP segment", ErrBadChecksum)
 	}
 	pkt := &Packet{
 		Flow:    flow,
@@ -360,9 +397,14 @@ func Parse(buf Frame) (*Packet, error) {
 		Payload: payload,
 	}
 	if err := parseOptions(tcp[TCPHeaderLen:dataOff], pkt); err != nil {
+		if sumErr != nil {
+			// The frame is damaged anyway; the checksum verdict is the
+			// useful error, and the mangled options are not worth keeping.
+			return nil, sumErr
+		}
 		return nil, err
 	}
-	return pkt, nil
+	return pkt, sumErr
 }
 
 // SetCE rewrites frame's ECN codepoint to CE ("congestion experienced") in
