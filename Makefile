@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check alloc-check soak fuzz-short golden-check bench fmt fmt-check lint experiments
+.PHONY: all build test vet race check alloc-check soak fuzz-short golden-check bench perf perf-check fmt fmt-check lint experiments
 
 all: build
 
@@ -19,10 +19,11 @@ vet:
 race:
 	$(GO) test -race -timeout 30m -skip 'OffloadEquivalenceSoak' ./...
 
-check: vet lint fmt-check race soak alloc-check fuzz-short golden-check
+check: vet lint fmt-check race soak alloc-check fuzz-short golden-check perf-check
 
 # The invariant linter: the analyzers in internal/analysis (virtclock,
-# nilhook, statsreg, wiremut) enforce the DESIGN.md contracts mechanically.
+# nilhook, statsreg, wiremut, seriesname) enforce the DESIGN.md contracts
+# mechanically.
 # See DESIGN.md "Invariants as analyzers".
 lint:
 	$(GO) run ./cmd/simlint ./...
@@ -50,10 +51,26 @@ golden-check:
 	$(GO) test -count=1 -run 'GoldenChromeTrace' ./internal/experiments/
 
 # The race detector instruments allocations, so the zero-alloc guarantees
-# (disabled telemetry must not allocate on the per-packet path) are
-# asserted in a separate non-race run.
+# (disabled telemetry and lifecycle spans must not allocate on the
+# per-packet path, nor Stats()/Sample() at steady state) are asserted in
+# a separate non-race run.
 alloc-check:
-	$(GO) test -count=1 -run 'ZeroAlloc|NoAlloc' ./internal/telemetry/
+	$(GO) test -count=1 -run 'ZeroAlloc|NoAlloc' ./internal/telemetry/... ./internal/nic/
+
+# The perf data point behind the regression gate: the deterministic
+# workload of internal/perf, timed by cmd/perf, written as PERF_8.json.
+# The sim.* metrics are virtual-clock-derived and byte-stable; the wall.*
+# metrics are this host's simulator throughput (informational).
+perf:
+	$(GO) run ./cmd/perf -out PERF_8.json
+
+# The perf-regression gate: re-measure into a scratch file and let
+# benchdiff compare it against the committed PERF_8.json baseline.
+# Deterministic sim.* metrics gate tightly — regenerate the baseline
+# (`make perf`, commit the diff) only for intended changes.
+perf-check:
+	$(GO) run ./cmd/perf -out .perf_check.json
+	$(GO) run ./cmd/benchdiff PERF_8.json .perf_check.json
 
 # One data point on the perf trajectory: every paper benchmark once, in
 # test2json form for machine diffing across PRs.

@@ -1,0 +1,261 @@
+// Command benchdiff compares two performance report files and fails when
+// the new one regresses past tolerance — the CI gate behind
+// `make perf-check`.
+//
+//	benchdiff [-tol 0.2] OLD NEW
+//
+// Both PERF files (cmd/perf's repro-perf/v1 JSON) and BENCH files (the
+// `go test -json -bench` stream `make bench` writes) are accepted; the
+// format is sniffed per file. PERF metrics carry their own per-metric
+// tolerance, direction, and gate flag; BENCH ns/op metrics are wall-clock
+// and use the -tol default (lower is better, gated).
+//
+// A metric regresses when it moves past its tolerance in the worse
+// direction, and a gated metric that disappears from NEW is a regression
+// too. Improvements and ungated drift are reported but never fail. Exit
+// status: 0 clean, 1 regression, 2 usage or parse error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one comparable measurement, whichever file format it came from.
+type metric struct {
+	name      string
+	value     float64
+	unit      string
+	better    string // "higher" or "lower"
+	tolerance float64
+	gate      bool
+}
+
+// perfFile mirrors cmd/perf's output document.
+type perfFile struct {
+	Schema  string `json:"schema"`
+	Metrics []struct {
+		Name      string  `json:"name"`
+		Value     float64 `json:"value"`
+		Unit      string  `json:"unit"`
+		Better    string  `json:"better"`
+		Tolerance float64 `json:"tolerance"`
+		Gate      bool    `json:"gate"`
+	} `json:"metrics"`
+}
+
+// benchLine is one event of a `go test -json` stream.
+type benchLine struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// nsPerOp matches the benchmark result line go test prints, possibly
+// reassembled from several -json Output chunks.
+var nsPerOp = regexp.MustCompile(`(Benchmark[\w/]+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parseMetrics sniffs the format and returns the file's metrics keyed by
+// name. defTol and gate-by-default apply only to BENCH ns/op metrics,
+// which carry no metadata of their own.
+func parseMetrics(r io.Reader, defTol float64) (map[string]metric, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty report")
+	}
+	if bytes.HasPrefix(trimmed, []byte("{\n")) || bytes.Contains(trimmed[:min(len(trimmed), 256)], []byte(`"schema"`)) {
+		return parsePerf(trimmed)
+	}
+	return parseBench(trimmed, defTol)
+}
+
+func parsePerf(data []byte) (map[string]metric, error) {
+	var f perfFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(f.Schema, "repro-perf/") {
+		return nil, fmt.Errorf("unknown schema %q", f.Schema)
+	}
+	out := make(map[string]metric, len(f.Metrics))
+	for _, m := range f.Metrics {
+		better := m.Better
+		if better != "lower" {
+			better = "higher"
+		}
+		out[m.Name] = metric{
+			name: m.Name, value: m.Value, unit: m.Unit,
+			better: better, tolerance: m.Tolerance, gate: m.Gate,
+		}
+	}
+	return out, nil
+}
+
+func parseBench(data []byte, defTol float64) (map[string]metric, error) {
+	// go test -json splits one logical output line across events, so
+	// reassemble the full output text per benchmark before matching.
+	perTest := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		var ev benchLine
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lines+1, err)
+		}
+		lines++
+		if ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		b := perTest[ev.Test]
+		if b == nil {
+			b = &strings.Builder{}
+			perTest[ev.Test] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]metric)
+	for _, b := range perTest {
+		for _, m := range nsPerOp.FindAllStringSubmatch(b.String(), -1) {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			out[m[1]+".ns_per_op"] = metric{
+				name: m[1] + ".ns_per_op", value: v, unit: "ns/op",
+				better: "lower", tolerance: defTol, gate: true,
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found")
+	}
+	return out, nil
+}
+
+// row is one line of the comparison report.
+type row struct {
+	name    string
+	old     float64
+	new     float64
+	delta   float64 // relative change, NaN when old == 0
+	verdict string  // "ok", "better", "worse", "REGRESSION", "MISSING"
+}
+
+// diff compares the two metric sets. Tolerance, direction, and gate come
+// from the NEW file (the PR under test owns its contract); a gated
+// metric missing from NEW regresses.
+func diff(oldM, newM map[string]metric) (rows []row, regressed bool) {
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			r := row{name: name, old: o.value, new: math.NaN(), verdict: "MISSING"}
+			if o.gate {
+				regressed = true
+			}
+			rows = append(rows, r)
+			continue
+		}
+		r := row{name: name, old: o.value, new: n.value}
+		if o.value != 0 {
+			r.delta = (n.value - o.value) / o.value
+		} else if n.value == 0 {
+			r.delta = 0
+		} else {
+			r.delta = math.NaN()
+		}
+		worse := r.delta
+		if n.better == "higher" {
+			worse = -worse
+		}
+		switch {
+		case math.IsNaN(worse) || worse > n.tolerance:
+			if n.gate {
+				r.verdict = "REGRESSION"
+				regressed = true
+			} else {
+				r.verdict = "worse"
+			}
+		case worse < -n.tolerance:
+			r.verdict = "better"
+		default:
+			r.verdict = "ok"
+		}
+		rows = append(rows, r)
+	}
+	return rows, regressed
+}
+
+func fprintRows(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-36s %16s %16s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
+	for _, r := range rows {
+		delta := "n/a"
+		if !math.IsNaN(r.delta) && !math.IsNaN(r.new) {
+			delta = fmt.Sprintf("%+.2f%%", r.delta*100)
+		}
+		fmt.Fprintf(w, "%-36s %16.3f %16.3f %9s  %s\n", r.name, r.old, r.new, delta, r.verdict)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	defTol := fs.Float64("tol", 0.2, "default relative tolerance for metrics without their own (BENCH ns/op)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-tol 0.2] OLD NEW")
+		return 2
+	}
+	load := func(path string) (map[string]metric, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseMetrics(f, *defTol)
+	}
+	oldM, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+	newM, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", fs.Arg(1), err)
+		return 2
+	}
+	rows, regressed := diff(oldM, newM)
+	fprintRows(stdout, rows)
+	if regressed {
+		fmt.Fprintln(stderr, "benchdiff: REGRESSION past tolerance (regenerate the baseline only for intended changes)")
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const perfOld = `{
+  "schema": "repro-perf/v1",
+  "metrics": [
+    {"name": "sim.offload.gbps_per_core", "value": 80.0, "unit": "gbps", "better": "higher", "tolerance": 0.001, "gate": true},
+    {"name": "sim.offload.events", "value": 100000, "unit": "events", "better": "lower", "tolerance": 0.001, "gate": true},
+    {"name": "wall.packets_per_sec", "value": 2000000, "unit": "pps", "better": "higher", "tolerance": 0.5, "gate": false}
+  ]
+}
+`
+
+func perfWith(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPerfIdenticalPasses(t *testing.T) {
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", perfOld)
+	var out, errb strings.Builder
+	if code := run([]string{old, new_}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on identical files\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "sim.offload.gbps_per_core") {
+		t.Errorf("report missing metric rows:\n%s", out.String())
+	}
+}
+
+func TestPerfInjectedRegressionFails(t *testing.T) {
+	// The gated higher-is-better metric drops 10%: must exit nonzero.
+	regressed := strings.Replace(perfOld, `"value": 80.0`, `"value": 72.0`, 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", regressed)
+	var out, errb strings.Builder
+	if code := run([]string{old, new_}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on injected regression, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", out.String())
+	}
+}
+
+func TestPerfLowerIsBetterDirection(t *testing.T) {
+	// events grows 10%: worse for a lower-is-better metric.
+	regressed := strings.Replace(perfOld, `"value": 100000`, `"value": 110000`, 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", regressed)
+	if code := run([]string{old, new_}, &strings.Builder{}, &strings.Builder{}); code != 1 {
+		t.Fatalf("exit %d when a lower-is-better metric grows, want 1", code)
+	}
+	// And shrinking it is an improvement, not a failure.
+	improved := strings.Replace(perfOld, `"value": 100000`, `"value": 90000`, 1)
+	new2 := perfWith(t, "new2.json", improved)
+	if code := run([]string{old, new2}, &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Fatalf("exit %d on an improvement, want 0", code)
+	}
+}
+
+func TestUngatedDriftPasses(t *testing.T) {
+	// wall pps halves — past tolerance but gate=false, so informational.
+	noisy := strings.Replace(perfOld, `"value": 2000000`, `"value": 900000`, 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", noisy)
+	var out strings.Builder
+	if code := run([]string{old, new_}, &out, &strings.Builder{}); code != 0 {
+		t.Fatalf("exit %d on ungated drift, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "worse") {
+		t.Errorf("ungated drift not reported:\n%s", out.String())
+	}
+}
+
+func TestGatedMetricDisappearingFails(t *testing.T) {
+	dropped := strings.Replace(perfOld,
+		`    {"name": "sim.offload.events", "value": 100000, "unit": "events", "better": "lower", "tolerance": 0.001, "gate": true},`+"\n", "", 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", dropped)
+	var out strings.Builder
+	if code := run([]string{old, new_}, &out, &strings.Builder{}); code != 1 {
+		t.Fatalf("exit %d when a gated metric disappears, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("missing metric not reported:\n%s", out.String())
+	}
+}
+
+// benchStream builds a minimal `go test -json -bench` stream; the result
+// line is split across two output events like the real tool emits.
+func benchStream(ns string) string {
+	return strings.Join([]string{
+		`{"Action":"start","Package":"repro"}`,
+		`{"Action":"run","Package":"repro","Test":"BenchmarkFig16_Throughput"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkFig16_Throughput","Output":"BenchmarkFig16_Throughput            \t"}`,
+		`{"Action":"output","Package":"repro","Test":"BenchmarkFig16_Throughput","Output":"       1\t` + ns + ` ns/op\n"}`,
+		`{"Action":"pass","Package":"repro","Test":"BenchmarkFig16_Throughput"}`,
+	}, "\n") + "\n"
+}
+
+func TestBenchFormatAndTolerance(t *testing.T) {
+	old := perfWith(t, "old.json", benchStream("1000000"))
+	within := perfWith(t, "within.json", benchStream("1100000")) // +10% < default 20%
+	past := perfWith(t, "past.json", benchStream("1300000"))     // +30% > default 20%
+
+	if code := run([]string{old, within}, &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Fatalf("exit %d on +10%% ns/op under -tol 0.2, want 0", code)
+	}
+	var out strings.Builder
+	if code := run([]string{old, past}, &out, &strings.Builder{}); code != 1 {
+		t.Fatalf("exit %d on +30%% ns/op under -tol 0.2, want 1\n%s", code, out.String())
+	}
+	// A widened tolerance waves the same drift through.
+	if code := run([]string{"-tol", "0.5", old, past}, &strings.Builder{}, &strings.Builder{}); code != 0 {
+		t.Fatalf("exit %d on +30%% ns/op under -tol 0.5, want 0", code)
+	}
+}
+
+func TestParseErrorsExitTwo(t *testing.T) {
+	old := perfWith(t, "old.json", perfOld)
+	garbage := perfWith(t, "garbage.json", "not a report\n")
+	if code := run([]string{old, garbage}, &strings.Builder{}, &strings.Builder{}); code != 2 {
+		t.Fatalf("exit %d on unparsable file, want 2", code)
+	}
+	if code := run([]string{old}, &strings.Builder{}, &strings.Builder{}); code != 2 {
+		t.Fatalf("exit %d on missing argument, want 2", code)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	oldM := map[string]metric{"m": {name: "m", value: 0, better: "higher", gate: true}}
+	newM := map[string]metric{"m": {name: "m", value: 5, better: "higher", tolerance: 0.001, gate: true}}
+	rows, regressed := diff(oldM, newM)
+	if len(rows) != 1 || !math.IsNaN(rows[0].delta) {
+		t.Fatalf("zero-baseline delta should be NaN: %+v", rows)
+	}
+	// NaN drift on a gated metric is a regression: the comparison is
+	// meaningless and must be looked at, not waved through.
+	if !regressed {
+		t.Error("NaN drift on a gated metric did not regress")
+	}
+	if _, regressed := diff(
+		map[string]metric{"m": {name: "m", value: 0, gate: true}},
+		map[string]metric{"m": {name: "m", value: 0, better: "higher", tolerance: 0.001, gate: true}},
+	); regressed {
+		t.Error("0 -> 0 should pass")
+	}
+}

@@ -4,18 +4,23 @@
 // -list to enumerate them.
 //
 // Observability: -trace writes a Chrome trace_event JSON of the run
-// (load it at chrome://tracing or https://ui.perfetto.dev), and
-// -metrics-out dumps every registered counter and latency histogram.
+// (load it at chrome://tracing or https://ui.perfetto.dev), -metrics-out
+// dumps every registered counter and latency histogram, and
+// -sample-every/-series-out sample every counter on a virtual-clock
+// cadence into rate/delta time series (CSV by default; .json or .prom
+// extensions select the JSON or Prometheus text exposition writers).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/sampler"
 )
 
 func main() {
@@ -23,6 +28,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	metricsPath := flag.String("metrics-out", "", "write counters and histograms to this file (- for stdout)")
 	traceCap := flag.Int("trace-cap", telemetry.DefaultTraceCap, "trace ring capacity in events (oldest dropped beyond this)")
+	sampleEvery := flag.Duration("sample-every", 0, "virtual-clock counter sampling cadence (0 disables; e.g. 100us)")
+	seriesPath := flag.String("series-out", "", "write sampled time series to this file (- for stdout; .json/.prom select format, default CSV)")
 	flag.Parse()
 
 	if *list {
@@ -32,10 +39,20 @@ func main() {
 		return
 	}
 
+	if (*seriesPath != "") != (*sampleEvery > 0) {
+		fmt.Fprintln(os.Stderr, "-sample-every and -series-out must be given together")
+		os.Exit(2)
+	}
+
 	var sys *telemetry.System
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *sampleEvery > 0 {
 		sys = telemetry.NewSystem(*traceCap)
 		experiments.UseTelemetry(sys)
+	}
+	var smp *sampler.Sampler
+	if *sampleEvery > 0 {
+		smp = sampler.New(sys.Reg, sampler.Config{Interval: *sampleEvery})
+		experiments.UseSampler(smp)
 	}
 
 	var todo []experiments.Experiment
@@ -70,8 +87,8 @@ func main() {
 		}
 		if err := sys.Trace.WriteChrome(f); err == nil {
 			err = f.Close()
-			if err == nil && sys.Trace.Lost() > 0 {
-				fmt.Fprintf(os.Stderr, "trace: ring overflowed; %d oldest events dropped (raise -trace-cap)\n", sys.Trace.Lost())
+			if err == nil && sys.Trace.DroppedEvents() > 0 {
+				fmt.Fprintf(os.Stderr, "trace: ring overflowed; %d oldest events dropped (raise -trace-cap)\n", sys.Trace.DroppedEvents())
 			}
 		} else {
 			f.Close()
@@ -92,5 +109,30 @@ func main() {
 			out = f
 		}
 		sys.Reg.Snapshot().Fprint(out)
+	}
+	if smp != nil {
+		out := os.Stdout
+		if *seriesPath != "-" {
+			f, err := os.Create(*seriesPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "series: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		var err error
+		switch {
+		case strings.HasSuffix(*seriesPath, ".json"):
+			err = smp.WriteJSON(out)
+		case strings.HasSuffix(*seriesPath, ".prom"):
+			err = smp.WriteProm(out)
+		default:
+			err = smp.WriteCSV(out)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "series: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

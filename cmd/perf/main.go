@@ -1,0 +1,105 @@
+// Command perf takes the repo's perf-trajectory data point: it runs the
+// deterministic workload in internal/perf and writes PERF_8.json — the
+// file `make perf-check` diffs against the committed baseline with
+// cmd/benchdiff.
+//
+// Two metric families come out. The sim.* family is derived purely from
+// the virtual clock and the cycle model (modeled Gbps-per-core, packet
+// and event counts), so it is byte-stable across machines and gates
+// tightly: any drift means the simulation itself changed. The wall.*
+// family measures how fast this host's simulator chews through those
+// same events (packets/sec, events/sec of wall time); it varies with
+// hardware and load, so it ships with loose tolerances and gate=false —
+// informational trend data, not a CI tripwire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// Metric is one comparable measurement in the perf file. Tolerance is
+// the relative drift benchdiff allows in the worse direction before it
+// fails; Gate false demotes the metric to informational.
+type Metric struct {
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit"`
+	Better    string  `json:"better"` // "higher" or "lower"
+	Tolerance float64 `json:"tolerance"`
+	Gate      bool    `json:"gate"`
+}
+
+// File is the PERF_8.json document.
+type File struct {
+	Schema  string   `json:"schema"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Schema identifies the format to benchdiff.
+const Schema = "repro-perf/v1"
+
+// simTol absorbs float formatting noise on deterministic metrics; any
+// real change to the simulation moves them far beyond it.
+const simTol = 0.001
+
+func main() {
+	out := flag.String("out", "PERF_8.json", "write the perf report here (- for stdout)")
+	quick := flag.Bool("quick", false, "quarter-length measurement window")
+	flag.Parse()
+
+	wl := perf.DefaultWorkload()
+	if *quick {
+		wl.Window /= 4
+	}
+
+	start := time.Now()
+	rep := perf.Run(wl)
+	wall := time.Since(start).Seconds()
+
+	var metrics []Metric
+	for _, a := range rep.Arms {
+		metrics = append(metrics,
+			Metric{Name: "sim." + a.Mode + ".gbps_per_core", Value: a.GbpsPerCore,
+				Unit: "gbps", Better: "higher", Tolerance: simTol, Gate: true},
+			Metric{Name: "sim." + a.Mode + ".goodput_gbps", Value: a.Gbps(),
+				Unit: "gbps", Better: "higher", Tolerance: simTol, Gate: true},
+			Metric{Name: "sim." + a.Mode + ".packets", Value: float64(a.Packets),
+				Unit: "packets", Better: "higher", Tolerance: simTol, Gate: true},
+			Metric{Name: "sim." + a.Mode + ".events", Value: float64(a.Steps),
+				Unit: "events", Better: "lower", Tolerance: simTol, Gate: true},
+		)
+	}
+	metrics = append(metrics,
+		Metric{Name: "sim.speedup", Value: rep.Speedup,
+			Unit: "ratio", Better: "higher", Tolerance: simTol, Gate: true},
+		Metric{Name: "wall.packets_per_sec", Value: float64(rep.TotalPackets()) / wall,
+			Unit: "pps", Better: "higher", Tolerance: 0.5, Gate: false},
+		Metric{Name: "wall.events_per_sec", Value: float64(rep.TotalSteps()) / wall,
+			Unit: "eps", Better: "higher", Tolerance: 0.5, Gate: false},
+	)
+
+	f := File{Schema: Schema, Metrics: metrics}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		os.Exit(1)
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(os.Stderr, "%-28s %14.3f %s\n", m.Name, m.Value, m.Unit)
+	}
+	fmt.Fprintf(os.Stderr, "[perf: %d packets, %d events in %.2fs wall -> %s]\n",
+		rep.TotalPackets(), rep.TotalSteps(), wall, *out)
+}

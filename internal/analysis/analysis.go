@@ -11,8 +11,10 @@
 // seeded randomness (virtclock); the zero-alloc disabled telemetry path
 // assumes nil-safe hooks (nilhook); the metrics registry's reflective
 // flattener assumes counter-shaped Stats structs that are actually
-// registered (statsreg); and the ECN path assumes serialized frames are
-// only mutated through checksum-repairing helpers (wiremut). A violation
+// registered (statsreg); the ECN path assumes serialized frames are
+// only mutated through checksum-repairing helpers (wiremut); and the
+// sampler's exports and the golden metrics fixtures assume canonical
+// dotted-lowercase series names (seriesname). A violation
 // fails `make lint` (inside `make check`) at source level instead of
 // flaking a soak after the fact.
 package analysis
@@ -136,4 +138,4 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 }
 
 // All lists every simlint analyzer, in reporting order.
-var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut}
+var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut, SeriesName}

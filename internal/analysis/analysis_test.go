@@ -18,6 +18,10 @@ func TestWireMut(t *testing.T) {
 	RunTest(t, "testdata", WireMut, "wiremut/a", "wiremut/wire")
 }
 
+func TestSeriesName(t *testing.T) {
+	RunTest(t, "testdata", SeriesName, "seriesname/a")
+}
+
 // TestRepoClean is the self-application gate: the analyzers over the
 // whole module must report nothing, so a regression against any DESIGN.md
 // invariant fails the test suite, not just `make lint`.

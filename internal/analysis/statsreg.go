@@ -19,8 +19,8 @@ import (
 //     snapshots.
 //  2. Registration: the type must actually reach the registry somewhere
 //     in the program — as a (possibly nested) RegisterCounters source or
-//     through a telemetry.Sum/Sub merge — otherwise its counters are
-//     collected but never exported.
+//     through a telemetry.Sum/Sub/SumInto merge — otherwise its counters
+//     are collected but never exported.
 //
 // The check is whole-program: a Stats struct defined in one package is
 // typically registered from another (experiments wires nic, tcpip, and
@@ -102,13 +102,13 @@ func typeKey(n *types.Named) string {
 // collectWitnesses records every type that reaches the telemetry
 // machinery in pkg: RegisterCounters arguments and Sum/Sub instantiations.
 func collectWitnesses(pkg *Package, registered map[string]bool) {
-	// Generic instantiations: telemetry.Sum[T]/Sub[T].
+	// Generic instantiations: telemetry.Sum[T]/Sub[T]/SumInto[T].
 	for id, inst := range pkg.TypesInfo.Instances {
 		fn, ok := pkg.TypesInfo.Uses[id].(*types.Func)
 		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "telemetry" {
 			continue
 		}
-		if fn.Name() != "Sum" && fn.Name() != "Sub" {
+		if fn.Name() != "Sum" && fn.Name() != "Sub" && fn.Name() != "SumInto" {
 			continue
 		}
 		if inst.TypeArgs.Len() == 1 {

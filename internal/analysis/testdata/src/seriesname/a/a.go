@@ -1,0 +1,41 @@
+// Package a exercises the dotted-lowercase series-name convention:
+// literals reaching the telemetry name-coining calls must match
+// [a-z0-9._]; dynamic parts and unrelated calls are out of scope.
+package a
+
+import (
+	"seriesname/telemetry"
+)
+
+type stats struct {
+	Hits uint64
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func good(reg *telemetry.Registry, label string, queues int) {
+	reg.Histogram("fio.request_latency_ns")
+	reg.RegisterCounters("nic.q0", &stats{})
+	telemetry.NewHistogram("lc.tx.enqueue_ns")
+	// Concatenation: the literal parts conform, the dynamic parts
+	// (label, itoa) are not the analyzer's business.
+	for i := 0; i < queues; i++ {
+		reg.Histogram(label + ".lc.wire_ns.q" + itoa(i))
+	}
+}
+
+func bad(reg *telemetry.Registry, label string) {
+	reg.Histogram("fio.RequestLatency")      // want `series name literal "fio.RequestLatency" in Histogram call is not dotted lowercase`
+	reg.RegisterCounters("NIC-q0", &stats{}) // want `series name literal "NIC-q0" in RegisterCounters call is not dotted lowercase`
+	telemetry.NewHistogram("lc tx enqueue")  // want `series name literal "lc tx enqueue" in NewHistogram call is not dotted lowercase`
+	reg.Histogram(label + ".Wire_ns")        // want `series name literal ".Wire_ns" in Histogram call is not dotted lowercase`
+}
+
+// otherHistogram is a decoy: same method name, not the telemetry package.
+type otherRegistry struct{}
+
+func (o *otherRegistry) Histogram(name string) {}
+
+func decoy(o *otherRegistry) {
+	o.Histogram("Not Checked At All")
+}

@@ -1,0 +1,18 @@
+// Package telemetry models the name-coining surface seriesname keys on:
+// Registry.Histogram, Registry.RegisterCounters, and NewHistogram.
+package telemetry
+
+// Registry mirrors the counter registry.
+type Registry struct{}
+
+// Histogram mirrors the named-histogram accessor.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// RegisterCounters mirrors the reflective source registration.
+func (r *Registry) RegisterCounters(prefix string, stats any) {}
+
+// Histogram mirrors the latency histogram.
+type Histogram struct{}
+
+// NewHistogram mirrors the standalone constructor.
+func NewHistogram(name string) *Histogram { return &Histogram{} }

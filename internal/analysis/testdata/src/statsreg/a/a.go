@@ -59,6 +59,16 @@ func merge(dst *MergedStats, src MergedStats) {
 	telemetry.Sum(dst, src)
 }
 
+// PtrMergedStats reaches the registry through the allocation-free
+// telemetry.SumInto merge (the cached-Stats() pattern).
+type PtrMergedStats struct {
+	Hits uint64
+}
+
+func mergePtr(dst, src *PtrMergedStats) {
+	telemetry.SumInto(dst, src)
+}
+
 // QueueStats models the multi-queue NIC pattern: a per-queue counter block
 // registered in a loop (one RegisterCounters call per queue) and merged
 // into a device view with telemetry.Sum. Both witnesses are type-based, so

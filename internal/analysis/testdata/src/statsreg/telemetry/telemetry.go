@@ -14,3 +14,6 @@ func Sum[T any](dst *T, src T) {}
 
 // Sub mirrors the generic counter delta.
 func Sub[T any](dst *T, src T) {}
+
+// SumInto mirrors the allocation-free pointer-to-pointer counter merge.
+func SumInto[T any](dst, src *T) {}

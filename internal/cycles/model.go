@@ -14,6 +14,10 @@ type Model struct {
 	MaxCores int
 	// NICGbps is the line rate of the modeled NIC (ConnectX-6 Dx, 100G).
 	NICGbps float64
+	// PCIeGbps is the host-interface bandwidth (PCIe 3.0 x16 ≈ 126 Gbit/s
+	// effective). The lifecycle layer converts DMA'd bytes to stage
+	// nanoseconds with it; 0 disables the conversion.
+	PCIeGbps float64
 	// DriveGBps is the remote SSD's max read bandwidth (P4800X, 2.67 GB/s).
 	DriveGBps float64
 	// DriveLatency is the SSD's per-request service latency in seconds.
@@ -89,6 +93,7 @@ func DefaultModel() Model {
 		CPUHz:        2.0e9,
 		MaxCores:     8,
 		NICGbps:      100,
+		PCIeGbps:     126,
 		DriveGBps:    2.67,
 		DriveLatency: 80e-6,
 		LinkLatency:  2e-6,

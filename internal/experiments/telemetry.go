@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/netsim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/sampler"
 )
 
 // tel is the run's telemetry system; nil means disabled (the default).
@@ -12,6 +14,11 @@ import (
 // time at zero, so each world becomes its own process on the timeline.
 var tel *telemetry.System
 
+// smp is the run's time-series sampler; nil means disabled. Each world
+// built while it is set registers a periodic virtual-clock hook that
+// snapshots every counter on the sampler's cadence.
+var smp *sampler.Sampler
+
 // UseTelemetry installs (or, with nil, removes) the telemetry system that
 // subsequently built worlds attach to. cmd/experiments calls it when
 // -trace or -metrics-out is given.
@@ -19,6 +26,27 @@ func UseTelemetry(s *telemetry.System) { tel = s }
 
 // Telemetry returns the installed system (nil when disabled).
 func Telemetry() *telemetry.System { return tel }
+
+// UseSampler installs (or, with nil, removes) the time-series sampler
+// that subsequently built worlds drive. Requires UseTelemetry as well —
+// the sampler reads the same registry. cmd/experiments calls it when
+// -sample-every is given.
+func UseSampler(s *sampler.Sampler) { smp = s }
+
+// Sampler returns the installed sampler (nil when disabled).
+func Sampler() *sampler.Sampler { return smp }
+
+// attachSampler opens a sampler world and arms the snapshot cadence on
+// the world's simulator. The hook fires on exact virtual-clock
+// boundaries between events (netsim.SetPeriodic), so it never keeps the
+// world from quiescing and a fixed-seed run samples identically.
+func attachSampler(sim *netsim.Simulator, label string) {
+	if smp == nil {
+		return
+	}
+	smp.OpenWorld(label)
+	sim.SetPeriodic(smp.Interval(), smp.Sample)
+}
 
 // attachTelemetry wires one machine's stack and NIC under prefix.
 func (m *Machine) attachTelemetry(prefix string) {
@@ -43,6 +71,7 @@ func (w *PairWorld) attachTelemetry(world string) {
 	tel.Reg.RegisterCounters(p+".link.ba", w.Link.StatsPtrBtoA())
 	w.Gen.attachTelemetry(p + ".gen")
 	w.Srv.attachTelemetry(p + ".srv")
+	attachSampler(w.Sim, p)
 }
 
 // FlushTelemetry closes out per-engine accounting. Call after traffic,
@@ -73,6 +102,7 @@ func (w *StorageWorld) attachTelemetry(world string) {
 	w.Gen.attachTelemetry(p + ".gen")
 	w.Srv.attachTelemetry(p + ".srv")
 	w.Tgt.attachTelemetry(p + ".tgt")
+	attachSampler(w.Sim, p)
 }
 
 // FlushTelemetry closes out per-engine accounting across all three hosts.

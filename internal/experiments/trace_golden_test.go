@@ -35,7 +35,11 @@ func goldenTraceRun() *telemetry.System {
 
 func TestGoldenChromeTrace(t *testing.T) {
 	var first, second bytes.Buffer
-	if err := goldenTraceRun().Trace.WriteChrome(&first); err != nil {
+	run := goldenTraceRun()
+	if run.Trace.DroppedEvents() != 0 {
+		t.Fatalf("golden scenario overflowed its ring (%d events dropped); the fixture must capture the whole timeline", run.Trace.DroppedEvents())
+	}
+	if err := run.Trace.WriteChrome(&first); err != nil {
 		t.Fatal(err)
 	}
 	if err := goldenTraceRun().Trace.WriteChrome(&second); err != nil {

@@ -21,9 +21,11 @@ import (
 
 // Simulator owns the virtual clock and the pending event queue.
 type Simulator struct {
-	now   time.Duration
-	seq   uint64
-	queue eventQueue
+	now      time.Duration
+	seq      uint64
+	steps    uint64
+	queue    eventQueue
+	periodic []*periodicHook
 }
 
 // New returns an empty simulator at virtual time zero.
@@ -33,6 +35,57 @@ func New() *Simulator {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
+
+// Steps returns how many events have run since the simulator was created.
+// The perf harness divides wall-clock time by it to report events/sec.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// periodicHook is a clock-boundary callback registered via SetPeriodic.
+type periodicHook struct {
+	interval time.Duration
+	next     time.Duration
+	fn       func(now time.Duration)
+}
+
+// SetPeriodic registers fn to run at every multiple of interval on the
+// virtual clock, starting with the first boundary strictly after now.
+// Hooks fire outside the event queue — between events in Step and during
+// RunUntil's trailing clock advance — so a registered hook never keeps
+// the simulation from quiescing (unlike a self-rescheduling timer, which
+// would make Quiesced false forever). The sampler's snapshot cadence
+// rides on this. Hooks observe state; they must not schedule events.
+func (s *Simulator) SetPeriodic(interval time.Duration, fn func(now time.Duration)) {
+	if interval <= 0 || fn == nil {
+		return
+	}
+	next := s.now - s.now%interval + interval
+	s.periodic = append(s.periodic, &periodicHook{interval: interval, next: next, fn: fn})
+}
+
+// firePeriodic runs every due boundary hook with time ≤ upto, in boundary
+// order (registration order among ties), advancing the clock to each
+// boundary as it fires.
+func (s *Simulator) firePeriodic(upto time.Duration) {
+	if len(s.periodic) == 0 {
+		return
+	}
+	for {
+		var due *periodicHook
+		for _, h := range s.periodic {
+			if h.next <= upto && (due == nil || h.next < due.next) {
+				due = h
+			}
+		}
+		if due == nil {
+			return
+		}
+		if s.now < due.next {
+			s.now = due.next
+		}
+		due.fn(due.next)
+		due.next += due.interval
+	}
+}
 
 // Timer is a scheduled callback that can be stopped before it fires.
 type Timer struct {
@@ -85,8 +138,10 @@ func (s *Simulator) Step() bool {
 		if ev.cancelled {
 			continue
 		}
+		s.firePeriodic(ev.at)
 		s.now = ev.at
 		ev.fired = true
+		s.steps++
 		ev.fn()
 		return true
 	}
@@ -120,6 +175,7 @@ func (s *Simulator) RunUntil(t time.Duration) {
 		}
 		s.Step()
 	}
+	s.firePeriodic(t)
 	if s.now < t {
 		s.now = t
 	}
@@ -270,6 +326,18 @@ type EndpointFunc func(frame wire.Frame)
 
 // DeliverFrame calls f.
 func (f EndpointFunc) DeliverFrame(frame wire.Frame) { f(frame) }
+
+// WireLatencySink is implemented by endpoints that want each frame's wire
+// latency — the virtual time from handoff to the link (including
+// serializer queueing and any reorder hold) until delivery. The link
+// checks by type assertion at delivery and calls NoteWireLatency
+// immediately before DeliverFrame. Duplicated frames are delivered but
+// not measured, so latency sample counts match first-copy deliveries.
+// The NIC's lifecycle layer uses this for the per-queue wire-stage
+// histogram.
+type WireLatencySink interface {
+	NoteWireLatency(d time.Duration)
+}
 
 // Link is a duplex point-to-point link between endpoints A and B.
 type Link struct {
@@ -495,6 +563,9 @@ func (l *Link) send(dir int, frame wire.Frame) {
 		d.stats.Delivered++
 		d.stats.Bytes += uint64(len(frame))
 		l.tracer.Instant1("net", "pkt.rx", l.tids[dir], "bytes", int64(len(frame)))
+		if sink, ok := dst.(WireLatencySink); ok {
+			sink.NoteWireLatency(arrive - now)
+		}
 		dst.DeliverFrame(frame)
 	}
 	l.sim.At(arrive, deliver)

@@ -235,3 +235,80 @@ func TestQuiesced(t *testing.T) {
 		t.Error("cancelled event should not block quiescence")
 	}
 }
+
+func TestSetPeriodicFiresOnBoundaries(t *testing.T) {
+	sim := New()
+	var fires []time.Duration
+	sim.SetPeriodic(10*time.Microsecond, func(now time.Duration) {
+		if now != sim.Now() {
+			t.Errorf("hook saw now=%v but clock=%v", now, sim.Now())
+		}
+		fires = append(fires, now)
+	})
+	// Events at 5, 25, 25, 40µs: boundaries 10, 20 fire before the 25µs
+	// events, 30 and 40 fire before/at the 40µs one.
+	for _, at := range []time.Duration{5 * time.Microsecond, 25 * time.Microsecond, 25 * time.Microsecond, 40 * time.Microsecond} {
+		sim.At(at, func() {})
+	}
+	sim.RunUntil(55 * time.Microsecond)
+	want := []time.Duration{10, 20, 30, 40, 50}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %d boundaries", fires, len(want))
+	}
+	for i, w := range want {
+		if fires[i] != w*time.Microsecond {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], w*time.Microsecond)
+		}
+	}
+	if sim.Now() != 55*time.Microsecond {
+		t.Errorf("clock = %v, want 55µs", sim.Now())
+	}
+}
+
+func TestSetPeriodicDoesNotBlockQuiescence(t *testing.T) {
+	sim := New()
+	sim.SetPeriodic(time.Microsecond, func(time.Duration) {})
+	if !sim.Quiesced() {
+		t.Error("a periodic hook must not keep the simulation alive")
+	}
+	sim.After(3*time.Microsecond, func() {})
+	sim.Run(0)
+	if !sim.Quiesced() {
+		t.Error("simulation should quiesce after its last event despite the hook")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	sim := New()
+	for i := 0; i < 7; i++ {
+		sim.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	sim.Run(0)
+	if sim.Steps() != 7 {
+		t.Errorf("Steps = %d, want 7", sim.Steps())
+	}
+}
+
+func TestWireLatencySink(t *testing.T) {
+	sim := New()
+	l := NewLink(sim, LinkConfig{Gbps: 1, Latency: 5 * time.Microsecond})
+	var lats []time.Duration
+	l.AttachB(sinkEndpoint{fn: func(d time.Duration) { lats = append(lats, d) }})
+	l.SendAtoB(make(wire.Frame, 1250)) // 10µs serialization at 1 Gbps
+	l.SendAtoB(make(wire.Frame, 1250)) // queued behind the first: +10µs
+	sim.Run(0)
+	if len(lats) != 2 {
+		t.Fatalf("got %d latency samples", len(lats))
+	}
+	if lats[0] != 15*time.Microsecond {
+		t.Errorf("first frame latency %v, want 15µs", lats[0])
+	}
+	if lats[1] != 25*time.Microsecond {
+		t.Errorf("queued frame latency %v, want 25µs", lats[1])
+	}
+}
+
+type sinkEndpoint struct{ fn func(time.Duration) }
+
+func (s sinkEndpoint) DeliverFrame(wire.Frame)         {}
+func (s sinkEndpoint) NoteWireLatency(d time.Duration) { s.fn(d) }

@@ -1,0 +1,128 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tcpip"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func TestLifecycleHistogramsPerQueue(t *testing.T) {
+	sim, a, b, na, nb := world(t, Config{Queues: 2})
+	sys := telemetry.NewSystem(0)
+	sys.Trace.AttachClock(sim.Now, "lc-test")
+	na.SetTelemetry(sys.Trace, sys.Reg, "cli.nic")
+	nb.SetTelemetry(sys.Trace, sys.Reg, "srv.nic")
+
+	var got []byte
+	b.Listen(80, func(s *tcpip.Socket) {
+		s.OnReadable = func(s *tcpip.Socket) {
+			for {
+				c, ok := s.ReadChunk()
+				if !ok {
+					break
+				}
+				got = append(got, c.Data...)
+			}
+		}
+	})
+	a.Connect(wire.Addr{IP: b.IP(), Port: 80}, func(s *tcpip.Socket) {
+		s.Write(make([]byte, 64<<10))
+	})
+	sim.RunUntil(time.Second)
+	if len(got) != 64<<10 {
+		t.Fatalf("delivered %d bytes, want %d", len(got), 64<<10)
+	}
+
+	snap := sys.Reg.Snapshot()
+	byName := map[string]telemetry.HistSnap{}
+	for _, h := range snap.Hists {
+		byName[h.Name] = h
+	}
+	// Every stage exists for every label and queue; the flow's queue on
+	// the receiving NIC saw traffic through all RX stages.
+	for _, label := range []string{"cli.nic", "srv.nic"} {
+		for _, stage := range LifecycleStages {
+			for _, q := range []string{".q0", ".q1"} {
+				if _, ok := byName[label+"."+stage+q]; !ok {
+					t.Errorf("missing stage histogram %s", label+"."+stage+q)
+				}
+			}
+		}
+	}
+	rxStats := nb.Stats()
+	var wireCount, deliverCount uint64
+	for _, q := range []string{".q0", ".q1"} {
+		wireCount += byName["srv.nic.lc.wire_ns"+q].Count
+		deliverCount += byName["srv.nic.lc.rx.deliver_ns"+q].Count
+	}
+	if wireCount == 0 || deliverCount == 0 {
+		t.Fatalf("rx lifecycle stages empty: wire=%d deliver=%d", wireCount, deliverCount)
+	}
+	if wireCount != rxStats.RxPackets+rxStats.RxBadFrames {
+		t.Errorf("wire samples %d != delivered frames %d", wireCount, rxStats.RxPackets+rxStats.RxBadFrames)
+	}
+	if deliverCount != rxStats.RxPackets {
+		t.Errorf("rx.deliver samples %d != RxPackets %d", deliverCount, rxStats.RxPackets)
+	}
+	// The wire stage is real virtual time: with a 1µs link it must be
+	// at least the propagation delay.
+	for _, q := range []string{".q0", ".q1"} {
+		h := byName["srv.nic.lc.wire_ns"+q]
+		if h.Count > 0 && h.Min < int64(time.Microsecond) {
+			t.Errorf("wire%s min %dns below link latency", q, h.Min)
+		}
+	}
+	// Model-derived stages carry plausible (positive) nanoseconds.
+	for _, name := range []string{"cli.nic.lc.tx.enqueue_ns.q0", "cli.nic.lc.tx.doorbell_ns.q0"} {
+		h := byName[name]
+		if h.Count > 0 && h.Max == 0 {
+			t.Errorf("%s recorded %d samples but max is 0ns", name, h.Count)
+		}
+	}
+}
+
+func TestLifecycleDisabledNoHistogramsAndZeroAlloc(t *testing.T) {
+	sim, a, b, _, nb := world(t, Config{Queues: 2})
+	var got []byte
+	b.Listen(80, func(s *tcpip.Socket) {
+		s.OnReadable = func(s *tcpip.Socket) {
+			for {
+				c, ok := s.ReadChunk()
+				if !ok {
+					break
+				}
+				got = append(got, c.Data...)
+			}
+		}
+	})
+	a.Connect(wire.Addr{IP: b.IP(), Port: 80}, func(s *tcpip.Socket) {
+		s.Write([]byte("quiet"))
+	})
+	sim.RunUntil(time.Second)
+	if nb.lc.enabled {
+		t.Fatal("lifecycle enabled without SetTelemetry")
+	}
+	if testing.AllocsPerRun(1000, func() { nb.NoteWireLatency(time.Microsecond) }) != 0 {
+		t.Error("disabled NoteWireLatency allocates")
+	}
+}
+
+// TestNICStatsMergeNoAlloc is the satellite check: the sampler polls
+// NIC.Stats every tick, so the per-queue merge must not allocate.
+func TestNICStatsMergeNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counting unreliable under -race")
+	}
+	_, _, _, _, nb := world(t, Config{Queues: 4})
+	for i := 0; i < 16; i++ {
+		nb.DeliverFrame(frameFor(flowTo(i), 1000, 8))
+	}
+	nb.Stats() // warm the scratch
+	allocs := testing.AllocsPerRun(1000, func() { nb.Stats() })
+	if allocs != 0 {
+		t.Errorf("NIC.Stats allocates %v per call, want 0", allocs)
+	}
+}

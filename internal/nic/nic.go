@@ -136,6 +136,12 @@ type NIC struct {
 	label  string
 	rxTid  string // precomputed engine track labels
 	txTid  string
+
+	// lc is the packet-lifecycle stage clock (lifecycle.go); merged is
+	// the reusable scratch Stats() sums the queues into, so repeated
+	// snapshots allocate nothing.
+	lc     lifecycle
+	merged Stats
 }
 
 type cacheKey struct {
@@ -195,12 +201,14 @@ func (n *NIC) QueueFor(flow wire.FlowID) *Queue {
 }
 
 // Stats returns all queues' counters merged into the whole-device view.
+// The merge reuses a scratch block and SumInto's pointer path, so callers
+// polling it every sampler tick never allocate.
 func (n *NIC) Stats() Stats {
-	var s Stats
+	n.merged = Stats{}
 	for _, q := range n.queues {
-		telemetry.Sum(&s, q.Stats)
+		telemetry.SumInto(&n.merged, &q.Stats)
 	}
-	return s
+	return n.merged
 }
 
 // CacheLen returns the number of flow contexts currently held in the
@@ -222,6 +230,7 @@ func (n *NIC) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, label 
 		for _, q := range n.queues {
 			reg.RegisterCounters(label+".q"+strconv.Itoa(q.id), &q.Stats)
 		}
+		n.lc.init(n.cfg.Model, reg, label, len(n.queues))
 	}
 }
 
@@ -242,7 +251,7 @@ func (n *NIC) FlushTelemetry() {
 // in L5P layering order: for NVMe-TCP over TLS, the NVMe engine runs
 // before the TLS engine on transmit (§5.3).
 func (n *NIC) AttachTx(flow wire.FlowID, e *offload.TxEngine) {
-	e.EnableTelemetry(n.tracer, n.txTid)
+	e.EnableTelemetry(n.tracer, n.reg, n.txTid)
 	q := n.QueueFor(flow)
 	q.tx[flow] = append(q.tx[flow], e)
 }
@@ -289,6 +298,17 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 	q := n.QueueFor(pkt.Flow)
 	q.Stats.TxPackets++
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+	driverCyc := m.DriverPerPacket
+
+	// Lifecycle accounting: ledger deltas around the engine section split
+	// the NIC-side engine work (cycles.NIC) and recovery context DMA from
+	// the driver/doorbell costs.
+	lcOn := n.lc.enabled
+	var nicCycBefore, ctxBytesBefore float64
+	if lcOn {
+		nicCycBefore = lg.NICCycles()
+		ctxBytesBefore = float64(lg.PCIeBytes(cycles.CtxDMA))
+	}
 
 	engines := q.tx[pkt.Flow]
 	if len(engines) > 0 && len(pkt.Payload) > 0 {
@@ -305,6 +325,7 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 			}
 			if e.Stats.Recoveries > recovered {
 				lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerOffloadDescr, 0)
+				driverCyc += m.DriverPerOffloadDescr
 			}
 		}
 	}
@@ -314,6 +335,13 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 	// Packet payload and descriptor cross PCIe by DMA.
 	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
 	n.tracer.Instant2("dma", "dma.tx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
+	if lcOn {
+		lq := &n.lc.queues[q.id]
+		lq.txEnqueue.Record(n.lc.cyclesNs(pkt.TxCycles))
+		lq.txDoorbell.Record(n.lc.cyclesNs(driverCyc) + n.lc.pcieNs(len(frame)))
+		lq.txEngine.Record(n.lc.cyclesNs(lg.NICCycles()-nicCycBefore) +
+			n.lc.pcieNs(int(float64(lg.PCIeBytes(cycles.CtxDMA))-ctxBytesBefore)))
+	}
 	n.send(frame)
 }
 
@@ -330,6 +358,15 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 	q := n.queues[0]
 	if pkt != nil {
 		q = n.QueueFor(pkt.Flow)
+	}
+	// The wire stage is real virtual time, reported by the link through
+	// NoteWireLatency just before this call; attribute it to the frame's
+	// queue now that steering is known. Every arriving frame crossed the
+	// wire, so record ahead of the stall/checksum verdicts.
+	lcOn := n.lc.enabled
+	if lcOn && n.lc.pendingWireNs > 0 {
+		n.lc.queues[q.id].wire.Record(n.lc.pendingWireNs)
+		n.lc.pendingWireNs = 0
 	}
 	if n.stallDrop(q) {
 		return // receive ring stalled: frame lost, TCP will retransmit
@@ -362,6 +399,13 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
 	n.tracer.Instant2("dma", "dma.rx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
 
+	// Lifecycle: ledger deltas split NIC-side engine + context-cache work
+	// from the DMA-up and stack-delivery stages.
+	var nicCycBefore, ctxBytesBefore float64
+	if lcOn {
+		nicCycBefore = lg.NICCycles()
+		ctxBytesBefore = float64(lg.PCIeBytes(cycles.CtxDMA))
+	}
 	var flags meta.RxFlags
 	if engines := q.rx[pkt.Flow]; len(engines) > 0 && len(pkt.Payload) > 0 {
 		n.cacheTouch(q, cacheKey{flow: pkt.Flow, rx: true})
@@ -369,6 +413,16 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 			flags |= e.Process(pkt.Seq, pkt.Payload, false)
 			q.harvestRx(e)
 		}
+	}
+	if lcOn {
+		lq := &n.lc.queues[q.id]
+		lq.rxEngine.Record(n.lc.cyclesNs(lg.NICCycles()-nicCycBefore) +
+			n.lc.pcieNs(int(float64(lg.PCIeBytes(cycles.CtxDMA))-ctxBytesBefore)))
+		lq.rxDMA.Record(n.lc.cyclesNs(m.DriverPerPacket) + n.lc.pcieNs(len(frame)))
+		hostCycBefore := lg.HostCycles()
+		n.stack.Input(pkt, flags)
+		lq.rxDeliver.Record(n.lc.cyclesNs(lg.HostCycles() - hostCycBefore))
+		return
 	}
 	n.stack.Input(pkt, flags)
 }

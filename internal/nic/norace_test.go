@@ -1,0 +1,5 @@
+//go:build !race
+
+package nic
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package nic
+
+// raceEnabled lets tests skip allocation-count assertions under the race
+// detector, which instruments allocations and breaks AllocsPerRun.
+const raceEnabled = true

@@ -42,11 +42,18 @@ func (e *RxEngine) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry
 	}
 }
 
-// EnableTelemetry hooks the transmit engine into the tracer: context
-// recoveries (the DMA replays of Fig. 6) become trace events.
-func (e *TxEngine) EnableTelemetry(tr *telemetry.Tracer, tid string) {
+// EnableTelemetry hooks the transmit engine into the run's tracer and
+// registry: context recoveries (the DMA replays of Fig. 6) become trace
+// events, and each recovery's replayed byte count feeds a histogram —
+// the distribution behind the Stats.RecoveryDMABytes total, so a few
+// huge message-prefix replays are distinguishable from many small
+// forward-gap ones. Either argument may be nil.
+func (e *TxEngine) EnableTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, tid string) {
 	e.tr = tr
 	e.traceTid = tid
+	if reg != nil {
+		e.recoveryHist = reg.Histogram("offload.tx.recovery_dma_bytes")
+	}
 }
 
 // setState is the single place receive-FSM transitions happen. It bumps
@@ -152,4 +159,7 @@ type telemetryState struct {
 type txTelemetryState struct {
 	tr       *telemetry.Tracer
 	traceTid string
+	// recoveryHist samples bytes DMA-replayed per recovery event
+	// (Record on nil is a no-op, so the disabled path stays free).
+	recoveryHist *telemetry.Histogram
 }

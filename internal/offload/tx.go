@@ -121,6 +121,7 @@ func (e *TxEngine) recover(seq uint32) bool {
 			if gap, err := e.src.StreamBytes(e.expected, seq); err == nil {
 				e.Stats.Recoveries++
 				e.Stats.RecoveryDMABytes += uint64(len(gap))
+				e.recoveryHist.Record(int64(len(gap)))
 				e.tr.Instant2("dma", "tx.recover.fwd", e.traceTid,
 					"seq", int64(seq), "dma_bytes", int64(len(gap)))
 				e.replay(gap)
@@ -140,6 +141,7 @@ func (e *TxEngine) recover(seq uint32) bool {
 	e.msgIndex = msgIndex
 	e.expected = msgStart
 	if msgStart == seq {
+		e.recoveryHist.Record(0)
 		e.tr.Instant2("dma", "tx.recover.msg", e.traceTid, "seq", int64(seq), "dma_bytes", 0)
 		return true
 	}
@@ -148,6 +150,7 @@ func (e *TxEngine) recover(seq uint32) bool {
 		return false
 	}
 	e.Stats.RecoveryDMABytes += uint64(len(prefix))
+	e.recoveryHist.Record(int64(len(prefix)))
 	e.tr.Instant2("dma", "tx.recover.msg", e.traceTid,
 		"seq", int64(seq), "dma_bytes", int64(len(prefix)))
 	e.replay(prefix)

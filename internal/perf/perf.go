@@ -1,0 +1,136 @@
+// Package perf defines the deterministic workload behind `make perf`:
+// a fixed-seed pair-world iperf run in each of the paper's two TLS arms
+// (software and autonomous offload). Everything here runs on the virtual
+// clock, so the packet counts, event counts, and modeled throughput are
+// byte-identical across machines and runs — they gate tightly in
+// benchdiff. The wall-clock side (how fast the simulator itself chews
+// through those events) belongs to cmd/perf, the only place allowed to
+// read the host clock.
+package perf
+
+import (
+	"time"
+
+	"repro/internal/cycles"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+)
+
+// Workload pins the scenario. One shape, deliberately: the gate wants a
+// stable reference point, not coverage (the experiments own coverage).
+type Workload struct {
+	LinkGbps    float64
+	LinkLatency time.Duration
+	Streams     int
+	MsgSize     int
+	RecordSize  int
+	Window      time.Duration
+}
+
+// DefaultWorkload is the committed-baseline scenario: a 100 Gbps link,
+// four streams of 16 KiB TLS records, measured for 2 ms of virtual time.
+func DefaultWorkload() Workload {
+	return Workload{
+		LinkGbps:    100,
+		LinkLatency: 2 * time.Microsecond,
+		Streams:     4,
+		MsgSize:     256 << 10,
+		RecordSize:  16 << 10,
+		Window:      2 * time.Millisecond,
+	}
+}
+
+// Arm is one measured variant of the workload.
+type Arm struct {
+	// Mode names the variant ("tls" or "offload").
+	Mode string
+	// Packets is total NIC packets handled (tx + rx, both machines).
+	Packets uint64
+	// Bytes is application payload delivered at the receiver.
+	Bytes uint64
+	// Steps is how many simulator events the run executed, establishment
+	// included — the denominator of cmd/perf's events-per-second.
+	Steps uint64
+	// SimElapsed is the virtual measurement window.
+	SimElapsed time.Duration
+	// GbpsPerCore is the modeled single-core receiver throughput — the
+	// paper's headline metric for the arm.
+	GbpsPerCore float64
+}
+
+// Report is the full deterministic measurement.
+type Report struct {
+	Workload Workload
+	Arms     []Arm
+	// Speedup is offload GbpsPerCore over software GbpsPerCore.
+	Speedup float64
+}
+
+// TotalPackets sums packets across arms (cmd/perf's pps numerator).
+func (r *Report) TotalPackets() uint64 {
+	var n uint64
+	for _, a := range r.Arms {
+		n += a.Packets
+	}
+	return n
+}
+
+// TotalSteps sums simulator events across arms.
+func (r *Report) TotalSteps() uint64 {
+	var n uint64
+	for _, a := range r.Arms {
+		n += a.Steps
+	}
+	return n
+}
+
+// Arm returns the named arm, or nil.
+func (r *Report) Arm(mode string) *Arm {
+	for i := range r.Arms {
+		if r.Arms[i].Mode == mode {
+			return &r.Arms[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the workload in both arms on fresh worlds and returns the
+// deterministic report. Identical inputs give an identical Report.
+func Run(wl Workload) Report {
+	rep := Report{Workload: wl}
+	for _, mode := range []experiments.IperfMode{experiments.IperfTLS, experiments.IperfTLSOffload} {
+		rep.Arms = append(rep.Arms, runArm(wl, mode))
+	}
+	if sw := rep.Arm("tls"); sw != nil && sw.GbpsPerCore > 0 {
+		if hw := rep.Arm("offload"); hw != nil {
+			rep.Speedup = hw.GbpsPerCore / sw.GbpsPerCore
+		}
+	}
+	return rep
+}
+
+func runArm(wl Workload, mode experiments.IperfMode) Arm {
+	w := experiments.NewPairWorld(netsim.LinkConfig{
+		Gbps:    wl.LinkGbps,
+		Latency: wl.LinkLatency,
+	}, nic.Config{})
+	res := experiments.RunIperf(w, mode, wl.Streams, wl.MsgSize, wl.RecordSize, wl.Window)
+	gen, srv := w.Gen.NIC.Stats(), w.Srv.NIC.Stats()
+	return Arm{
+		Mode:        mode.String(),
+		Packets:     gen.TxPackets + gen.RxPackets + srv.TxPackets + srv.RxPackets,
+		Bytes:       res.Bytes,
+		Steps:       w.Sim.Steps(),
+		SimElapsed:  res.Elapsed,
+		GbpsPerCore: w.Model.SingleCoreGbps(res.Rcv, res.Bytes),
+	}
+}
+
+// Gbps converts an arm's payload over its virtual window.
+func (a *Arm) Gbps() float64 {
+	if a.SimElapsed <= 0 {
+		return 0
+	}
+	return cycles.Gbps(a.Bytes, a.SimElapsed.Seconds())
+}

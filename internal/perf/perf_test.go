@@ -1,0 +1,43 @@
+package perf
+
+import "testing"
+
+// TestRunDeterministic asserts the contract benchdiff's tight gates rely
+// on: two Runs of the same workload produce identical reports.
+func TestRunDeterministic(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Window = wl.Window / 4 // keep the double run cheap
+	a, b := Run(wl), Run(wl)
+	if len(a.Arms) != 2 || len(b.Arms) != 2 {
+		t.Fatalf("arms = %d/%d, want 2", len(a.Arms), len(b.Arms))
+	}
+	for i := range a.Arms {
+		if a.Arms[i] != b.Arms[i] {
+			t.Errorf("arm %d differs between identical runs:\n%+v\n%+v", i, a.Arms[i], b.Arms[i])
+		}
+	}
+	if a.Speedup != b.Speedup {
+		t.Errorf("speedup differs: %v vs %v", a.Speedup, b.Speedup)
+	}
+}
+
+// TestOffloadBeatsSoftware pins the paper's direction: the autonomous
+// offload arm must sustain more per-core throughput than software TLS.
+func TestOffloadBeatsSoftware(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Window = wl.Window / 4
+	rep := Run(wl)
+	sw, hw := rep.Arm("tls"), rep.Arm("offload")
+	if sw == nil || hw == nil {
+		t.Fatalf("missing arm: %+v", rep.Arms)
+	}
+	if sw.Packets == 0 || hw.Packets == 0 || sw.Bytes == 0 || hw.Bytes == 0 {
+		t.Fatalf("empty run: sw=%+v hw=%+v", sw, hw)
+	}
+	if hw.GbpsPerCore <= sw.GbpsPerCore {
+		t.Errorf("offload %.2f gbps/core <= software %.2f", hw.GbpsPerCore, sw.GbpsPerCore)
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("speedup = %.3f, want > 1", rep.Speedup)
+	}
+}

@@ -792,6 +792,7 @@ func (s *Socket) output(pkt *wire.Packet) {
 	st.Stats.PacketsOut++
 	cost := st.model.StackTxPerPacket / st.model.TxBatchFactor
 	st.ledger.Charge(cycles.HostTCP, cycles.StackTx, cost, len(pkt.Payload))
+	pkt.TxCycles = cost
 	st.dev.Transmit(pkt)
 }
 

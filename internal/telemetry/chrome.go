@@ -104,7 +104,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 		bw.WriteString("}")
 	}
-	bw.WriteString("\n]}\n")
+	bw.WriteString("\n],\"otherData\":{\"droppedEvents\":")
+	bw.WriteString(strconv.FormatUint(t.stats.DroppedEvents, 10))
+	bw.WriteString("}}\n")
 	return bw.Flush()
 }
 

@@ -106,6 +106,78 @@ func TestSumSub(t *testing.T) {
 	}
 }
 
+func TestSnapshotIntoReusesBuffers(t *testing.T) {
+	r := NewRegistry()
+	a := &fakeStats{Frames: 1}
+	r.RegisterCounters("s", a)
+	r.Histogram("lat").Record(3)
+
+	var snap Snapshot
+	r.SnapshotInto(&snap)
+	if got := snap.Get("s.Frames"); got != 1 {
+		t.Fatalf("s.Frames = %d, want 1", got)
+	}
+	a.Frames = 9
+	r.SnapshotInto(&snap)
+	if got := snap.Get("s.Frames"); got != 9 {
+		t.Errorf("reused snapshot did not refresh: %d", got)
+	}
+	if len(snap.Hists) != 1 || snap.Hists[0].Count != 1 {
+		t.Errorf("hists = %+v", snap.Hists)
+	}
+
+	// Registering after a snapshot must invalidate the cached layout.
+	r.RegisterCounters("late", &fakeStats{Drops: 4})
+	r.SnapshotInto(&snap)
+	if got := snap.Get("late.Drops"); got != 4 {
+		t.Errorf("late registration missing from snapshot: %d", got)
+	}
+}
+
+func TestSnapshotIntoNoAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counting unreliable under -race")
+	}
+	r := NewRegistry()
+	r.RegisterCounters("a", &fakeStats{Frames: 1, Nested: innerStats{Deep: 2}})
+	r.RegisterCounters("b", &fakeStats{Drops: 3})
+	r.Histogram("lat").Record(10)
+
+	var snap Snapshot
+	r.SnapshotInto(&snap) // first call sizes the buffers
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.SnapshotInto(&snap)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotInto allocates %v per call at steady state, want 0", allocs)
+	}
+}
+
+func TestSumIntoMatchesSum(t *testing.T) {
+	src := mergeStats{U: 4, D: time.Millisecond, Nested: innerStats{Deep: 2}}
+	a := mergeStats{U: 1}
+	b := mergeStats{U: 1}
+	Sum(&a, src)
+	SumInto(&b, &src)
+	if a != b {
+		t.Errorf("SumInto diverges from Sum: %+v vs %+v", b, a)
+	}
+}
+
+func TestSumIntoNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counting unreliable under -race")
+	}
+	dst := &mergeStats{}
+	src := &mergeStats{U: 2, Nested: innerStats{Deep: 1}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		SumInto(dst, src)
+	})
+	if allocs != 0 {
+		t.Errorf("SumInto allocates %v per call, want 0", allocs)
+	}
+}
+
 func TestNilRegistrySafe(t *testing.T) {
 	var r *Registry
 	r.RegisterCounters("x", &fakeStats{})

@@ -1,0 +1,132 @@
+package sampler
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes every series point as one row:
+//
+//	series,epoch,t_ns,value,delta,rate
+//
+// Rows are grouped by series (sorted by name) in chronological order, so
+// a fixed-seed run serializes byte-identically (golden-tested).
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("series,epoch,t_ns,value,delta,rate\n")
+	for _, ser := range s.Series() {
+		for i := 0; i < ser.Len(); i++ {
+			p := ser.At(i)
+			bw.WriteString(ser.Name)
+			bw.WriteByte(',')
+			bw.WriteString(strconv.Itoa(p.Epoch))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatInt(int64(p.T), 10))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatUint(p.Value, 10))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatUint(p.Delta, 10))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(p.Rate, 'g', -1, 64))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the full sampler state as one JSON document:
+// interval, world labels, and every series with its points and loss
+// counters. Output is deterministic (series sorted by name, fixed field
+// order).
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"interval_ns\":")
+	bw.WriteString(strconv.FormatInt(int64(s.cfg.Interval), 10))
+	bw.WriteString(",\"worlds\":[")
+	for i, world := range s.worlds {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(strconv.Quote(world))
+	}
+	bw.WriteString("],\"series\":[")
+	for si, ser := range s.Series() {
+		if si > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n{\"name\":")
+		bw.WriteString(strconv.Quote(ser.Name))
+		bw.WriteString(",\"dropped\":")
+		bw.WriteString(strconv.FormatUint(ser.dropped, 10))
+		bw.WriteString(",\"resets\":")
+		bw.WriteString(strconv.FormatUint(ser.resets, 10))
+		bw.WriteString(",\"points\":[")
+		for i := 0; i < ser.Len(); i++ {
+			p := ser.At(i)
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("{\"t_ns\":")
+			bw.WriteString(strconv.FormatInt(int64(p.T), 10))
+			bw.WriteString(",\"epoch\":")
+			bw.WriteString(strconv.Itoa(p.Epoch))
+			bw.WriteString(",\"value\":")
+			bw.WriteString(strconv.FormatUint(p.Value, 10))
+			bw.WriteString(",\"delta\":")
+			bw.WriteString(strconv.FormatUint(p.Delta, 10))
+			bw.WriteString(",\"rate\":")
+			bw.WriteString(strconv.FormatFloat(p.Rate, 'g', -1, 64))
+			bw.WriteByte('}')
+		}
+		bw.WriteString("]}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteProm writes the latest value of every series in the Prometheus
+// text exposition format (one counter per series; dots become
+// underscores, since Prometheus metric names cannot carry them). Series
+// appear sorted by name.
+func (s *Sampler) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ser := range s.Series() {
+		if ser.Len() == 0 {
+			continue
+		}
+		name := promName(ser.Name)
+		last := ser.At(ser.Len() - 1)
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteString(" counter\n")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(last.Value, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// promName maps a dotted series name onto the Prometheus metric name
+// charset [a-zA-Z0-9_:].
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

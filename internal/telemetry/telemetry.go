@@ -34,7 +34,11 @@ type System struct {
 }
 
 // NewSystem builds a registry plus a tracer with the given ring capacity
-// (<=0 selects the default).
+// (<=0 selects the default). The tracer's own loss counters are
+// registered under "trace", so a metrics snapshot always reveals whether
+// the ring overwrote events.
 func NewSystem(traceCap int) *System {
-	return &System{Reg: NewRegistry(), Trace: NewTracer(traceCap)}
+	s := &System{Reg: NewRegistry(), Trace: NewTracer(traceCap)}
+	s.Reg.RegisterCounters("trace", &s.Trace.stats)
+	return s
 }

@@ -38,7 +38,15 @@ type Tracer struct {
 	worlds []string
 	ring   []Event
 	next   int // overwrite cursor once len(ring) == cap(ring)
-	lost   uint64
+	stats  TracerStats
+}
+
+// TracerStats counts the tracer's own losses so a bounded ring can never
+// drop events silently: NewSystem registers it under the "trace" prefix,
+// the Chrome exporter embeds it in the trace metadata, and the golden
+// trace test asserts it stays zero.
+type TracerStats struct {
+	DroppedEvents uint64 // ring-buffer overwrites (oldest event lost)
 }
 
 // DefaultTraceCap bounds the ring when the caller does not choose.
@@ -79,12 +87,12 @@ func (t *Tracer) Now() time.Duration {
 	return t.now()
 }
 
-// Lost returns how many events the ring overwrote.
-func (t *Tracer) Lost() uint64 {
+// DroppedEvents returns how many events the bounded ring overwrote.
+func (t *Tracer) DroppedEvents() uint64 {
 	if t == nil {
 		return 0
 	}
-	return t.lost
+	return t.stats.DroppedEvents
 }
 
 // Len returns how many events the ring currently holds.
@@ -105,7 +113,7 @@ func (t *Tracer) emit(ev Event) {
 	if t.next == len(t.ring) {
 		t.next = 0
 	}
-	t.lost++
+	t.stats.DroppedEvents++
 }
 
 // Instant records a point event with no arguments.

@@ -46,8 +46,8 @@ func TestTracerRingWrap(t *testing.T) {
 		now = time.Duration(i) * time.Microsecond
 		tr.Instant1("c", "e", "t", "i", int64(i))
 	}
-	if tr.Lost() != 6 {
-		t.Errorf("lost = %d, want 6", tr.Lost())
+	if tr.DroppedEvents() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.DroppedEvents())
 	}
 	evs := tr.Events()
 	if len(evs) != 4 {
@@ -85,7 +85,7 @@ func TestNilTracerSafe(t *testing.T) {
 	tr.Instant1("c", "n", "t", "a", 1)
 	tr.Instant2("c", "n", "t", "a", 1, "b", 2)
 	tr.Span("c", "n", "t", 0, "a", 1)
-	if tr.Enabled() || tr.Len() != 0 || tr.Now() != 0 || tr.Lost() != 0 {
+	if tr.Enabled() || tr.Len() != 0 || tr.Now() != 0 || tr.DroppedEvents() != 0 {
 		t.Error("nil tracer should read as disabled and empty")
 	}
 	if tr.AttachClock(nil, "w") != 0 {
@@ -155,10 +155,27 @@ func TestWriteChrome(t *testing.T) {
 		`{"name":"pkt.tx","cat":"net","ph":"i","ts":1.500,"s":"t","pid":1,"tid":1,"args":{"bytes":100}}`,
 		`"ph":"X","ts":2.000,"dur":1.000`,
 		`cli\"1`,
+		`"otherData":{"droppedEvents":0}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("chrome output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWriteChromeReportsDroppedEvents(t *testing.T) {
+	now := time.Duration(0)
+	tr := NewTracer(4)
+	tr.AttachClock(fixedClock(&now), "w")
+	for i := 0; i < 10; i++ {
+		tr.Instant("c", "e", "t")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"otherData":{"droppedEvents":6}`) {
+		t.Errorf("dropped-event count missing from chrome metadata:\n%s", sb.String())
 	}
 }
 
