@@ -2,7 +2,7 @@
 // the new one regresses past tolerance — the CI gate behind
 // `make perf-check`.
 //
-//	benchdiff [-tol 0.2] OLD NEW
+//	benchdiff [-tol 0.2] [-min name=ratio ...] OLD NEW
 //
 // Both PERF files (cmd/perf's repro-perf/v1 JSON) and BENCH files (the
 // `go test -json -bench` stream `make bench` writes) are accepted; the
@@ -12,8 +12,20 @@
 //
 // A metric regresses when it moves past its tolerance in the worse
 // direction, and a gated metric that disappears from NEW is a regression
-// too. Improvements and ungated drift are reported but never fail. Exit
-// status: 0 clean, 1 regression, 2 usage or parse error.
+// too. Improvements and ungated drift are reported but never fail.
+//
+// -min name=ratio (repeatable) adds an improvement floor on top of the
+// regression check: NEW's value must be at least ratio × OLD's. A metric
+// missing from either file, or a zero/NaN baseline, fails the floor —
+// an undefined ratio must be looked at, not waved through.
+//
+// -floors-only skips the tolerance diff and checks just the -min floors.
+// Use it when OLD is an older baseline whose gated metrics have since
+// changed on purpose (the floor still holds across the gap, but the
+// tight per-metric tolerances would not). Requires at least one -min.
+//
+// Exit status: 0 clean, 1 regression or unmet floor, 2 usage or parse
+// error.
 package main
 
 import (
@@ -209,6 +221,67 @@ func diff(oldM, newM map[string]metric) (rows []row, regressed bool) {
 	return rows, regressed
 }
 
+// minFlags collects repeated -min name=ratio requirements.
+type minFlags map[string]float64
+
+func (m minFlags) String() string {
+	parts := make([]string, 0, len(m))
+	for name, ratio := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, ratio))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set parses one name=ratio pair.
+func (m minFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ratio, got %q", s)
+	}
+	ratio, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(ratio) || ratio <= 0 {
+		return fmt.Errorf("want a positive ratio, got %q", val)
+	}
+	m[name] = ratio
+	return nil
+}
+
+// checkMins enforces the -min floors and reports whether all hold. Each
+// floor is checked as new/old ≥ ratio; missing metrics and zero or NaN
+// baselines fail because the ratio is undefined.
+func checkMins(mins minFlags, oldM, newM map[string]metric, stdout, stderr io.Writer) bool {
+	names := make([]string, 0, len(mins))
+	for name := range mins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		ratio := mins[name]
+		o, haveOld := oldM[name]
+		n, haveNew := newM[name]
+		switch {
+		case !haveOld || !haveNew:
+			side := "OLD"
+			if haveOld {
+				side = "NEW"
+			}
+			fmt.Fprintf(stderr, "benchdiff: -min %s=%g: metric missing from the %s file\n", name, ratio, side)
+			ok = false
+		case o.value == 0 || math.IsNaN(o.value) || math.IsNaN(n.value):
+			fmt.Fprintf(stderr, "benchdiff: -min %s=%g: ratio undefined (old=%v new=%v)\n", name, ratio, o.value, n.value)
+			ok = false
+		case n.value < ratio*o.value:
+			fmt.Fprintf(stderr, "benchdiff: -min %s=%g: got %.3fx (%.3f -> %.3f)\n", name, ratio, n.value/o.value, o.value, n.value)
+			ok = false
+		default:
+			fmt.Fprintf(stdout, "min %-33s %.3fx >= %gx\n", name, n.value/o.value, ratio)
+		}
+	}
+	return ok
+}
+
 func fprintRows(w io.Writer, rows []row) {
 	fmt.Fprintf(w, "%-36s %16s %16s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
 	for _, r := range rows {
@@ -224,11 +297,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	defTol := fs.Float64("tol", 0.2, "default relative tolerance for metrics without their own (BENCH ns/op)")
+	mins := minFlags{}
+	fs.Var(mins, "min", "require NEW >= ratio*OLD for a metric, as name=ratio (repeatable)")
+	floorsOnly := fs.Bool("floors-only", false, "skip the tolerance diff; check only the -min floors")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-tol 0.2] OLD NEW")
+		fmt.Fprintln(stderr, "usage: benchdiff [-tol 0.2] [-min name=ratio ...] [-floors-only] OLD NEW")
+		return 2
+	}
+	if *floorsOnly && len(mins) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: -floors-only without any -min floor checks nothing")
 		return 2
 	}
 	load := func(path string) (map[string]metric, error) {
@@ -249,10 +329,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", fs.Arg(1), err)
 		return 2
 	}
-	rows, regressed := diff(oldM, newM)
-	fprintRows(stdout, rows)
+	regressed := false
+	if !*floorsOnly {
+		rows, bad := diff(oldM, newM)
+		fprintRows(stdout, rows)
+		regressed = bad
+	}
+	minsOK := checkMins(mins, oldM, newM, stdout, stderr)
 	if regressed {
 		fmt.Fprintln(stderr, "benchdiff: REGRESSION past tolerance (regenerate the baseline only for intended changes)")
+		return 1
+	}
+	if !minsOK {
+		fmt.Fprintln(stderr, "benchdiff: improvement floor not met")
 		return 1
 	}
 	return 0

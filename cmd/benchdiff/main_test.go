@@ -138,6 +138,112 @@ func TestParseErrorsExitTwo(t *testing.T) {
 	}
 }
 
+func TestMinFloorMetAndUnmet(t *testing.T) {
+	// wall pps doubles: a 1.5x floor holds, a 2.5x floor does not.
+	doubled := strings.Replace(perfOld, `"value": 2000000`, `"value": 4000000`, 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", doubled)
+	var out strings.Builder
+	if code := run([]string{"-min", "wall.packets_per_sec=1.5", old, new_}, &out, &strings.Builder{}); code != 0 {
+		t.Fatalf("exit %d on a met 1.5x floor, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "min wall.packets_per_sec") {
+		t.Errorf("met floor not reported:\n%s", out.String())
+	}
+	var errb strings.Builder
+	if code := run([]string{"-min", "wall.packets_per_sec=2.5", old, new_}, &strings.Builder{}, &errb); code != 1 {
+		t.Fatalf("exit %d on an unmet 2.5x floor, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "improvement floor not met") {
+		t.Errorf("unmet floor not explained:\n%s", errb.String())
+	}
+}
+
+func TestMinMissingMetricFails(t *testing.T) {
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", perfOld)
+	var errb strings.Builder
+	if code := run([]string{"-min", "no.such.metric=1.5", old, new_}, &strings.Builder{}, &errb); code != 1 {
+		t.Fatalf("exit %d when the floored metric is missing, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "metric missing") {
+		t.Errorf("missing floored metric not explained:\n%s", errb.String())
+	}
+}
+
+func TestMinZeroOrNaNBaselineFails(t *testing.T) {
+	// A zero baseline makes the ratio undefined: must fail, not divide
+	// through to +Inf and wave the floor past.
+	zeroed := strings.Replace(perfOld, `"value": 2000000`, `"value": 0`, 1)
+	old := perfWith(t, "old.json", zeroed)
+	new_ := perfWith(t, "new.json", perfOld)
+	var errb strings.Builder
+	if code := run([]string{"-min", "wall.packets_per_sec=1.5", old, new_}, &strings.Builder{}, &errb); code != 1 {
+		t.Fatalf("exit %d on a zero baseline floor, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "ratio undefined") {
+		t.Errorf("zero baseline not explained:\n%s", errb.String())
+	}
+	if !checkMins(minFlags{"m": 1.5},
+		map[string]metric{"m": {name: "m", value: 3}},
+		map[string]metric{"m": {name: "m", value: math.NaN()}},
+		&strings.Builder{}, &strings.Builder{}) {
+		// NaN in NEW is undefined too — expected to fail.
+	} else {
+		t.Error("NaN new value passed the floor")
+	}
+}
+
+func TestMinFlagParsing(t *testing.T) {
+	old := perfWith(t, "old.json", perfOld)
+	for _, bad := range []string{"nameonly", "=1.5", "m=", "m=abc", "m=-1", "m=0", "m=NaN"} {
+		if code := run([]string{"-min", bad, old, old}, &strings.Builder{}, &strings.Builder{}); code != 2 {
+			t.Errorf("exit %d on malformed -min %q, want 2", code, bad)
+		}
+	}
+	// Repeated floors all apply: the second one is unmet on identical files.
+	if code := run([]string{"-min", "wall.packets_per_sec=1.0", "-min", "sim.offload.events=1.5", old, old},
+		&strings.Builder{}, &strings.Builder{}); code != 1 {
+		t.Errorf("exit %d when one of two floors is unmet, want 1", code)
+	}
+}
+
+func TestFloorsOnlySkipsToleranceDiff(t *testing.T) {
+	// A gated sim metric regresses past tolerance, but the wall floor is
+	// met: -floors-only must ignore the diff and pass on the floor alone.
+	changed := strings.Replace(perfOld, `"value": 80.0`, `"value": 72.0`, 1)
+	changed = strings.Replace(changed, `"value": 2000000`, `"value": 4000000`, 1)
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", changed)
+	var out, errb strings.Builder
+	code := run([]string{"-floors-only", "-min", "wall.packets_per_sec=1.5", old, new_}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d with -floors-only and met floor, want 0\n%s%s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") || strings.Contains(out.String(), "gbps_per_core") {
+		t.Errorf("-floors-only still printed the tolerance diff:\n%s", out.String())
+	}
+	// Same files through the normal path must still fail, proving the
+	// flag is what suppressed the regression.
+	if code := run([]string{old, new_}, &strings.Builder{}, &strings.Builder{}); code != 1 {
+		t.Fatalf("exit %d without -floors-only, want 1", code)
+	}
+	// And an unmet floor still fails under -floors-only.
+	code = run([]string{"-floors-only", "-min", "wall.packets_per_sec=3", old, new_}, &strings.Builder{}, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d with -floors-only and unmet floor, want 1", code)
+	}
+}
+
+func TestFloorsOnlyWithoutMinIsUsageError(t *testing.T) {
+	old := perfWith(t, "old.json", perfOld)
+	new_ := perfWith(t, "new.json", perfOld)
+	var errb strings.Builder
+	if code := run([]string{"-floors-only", old, new_}, &strings.Builder{}, &errb); code != 2 {
+		t.Fatalf("exit %d for -floors-only without -min, want 2\n%s", code, errb.String())
+	}
+}
+
 func TestDiffZeroBaseline(t *testing.T) {
 	oldM := map[string]metric{"m": {name: "m", value: 0, better: "higher", gate: true}}
 	newM := map[string]metric{"m": {name: "m", value: 5, better: "higher", tolerance: 0.001, gate: true}}

@@ -1,5 +1,5 @@
 // Command perf takes the repo's perf-trajectory data point: it runs the
-// deterministic workload in internal/perf and writes PERF_8.json — the
+// deterministic workload in internal/perf and writes PERF_9.json — the
 // file `make perf-check` diffs against the committed baseline with
 // cmd/benchdiff.
 //
@@ -9,8 +9,9 @@
 // tightly: any drift means the simulation itself changed. The wall.*
 // family measures how fast this host's simulator chews through those
 // same events (packets/sec, events/sec of wall time); it varies with
-// hardware and load, so it ships with loose tolerances and gate=false —
-// informational trend data, not a CI tripwire.
+// hardware and load, so it is measured as the fastest of -repeat trials
+// and ships with loose tolerances and gate=false — trend data and the
+// `make perf-check` improvement floor, not a tight CI tripwire.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"time"
 
 	"repro/internal/perf"
@@ -35,7 +37,7 @@ type Metric struct {
 	Gate      bool    `json:"gate"`
 }
 
-// File is the PERF_8.json document.
+// File is the PERF_9.json document.
 type File struct {
 	Schema  string   `json:"schema"`
 	Metrics []Metric `json:"metrics"`
@@ -49,8 +51,9 @@ const Schema = "repro-perf/v1"
 const simTol = 0.001
 
 func main() {
-	out := flag.String("out", "PERF_8.json", "write the perf report here (- for stdout)")
+	out := flag.String("out", "PERF_9.json", "write the perf report here (- for stdout)")
 	quick := flag.Bool("quick", false, "quarter-length measurement window")
+	repeat := flag.Int("repeat", 3, "measurement trials; the fastest wall time is kept")
 	flag.Parse()
 
 	wl := perf.DefaultWorkload()
@@ -58,9 +61,27 @@ func main() {
 		wl.Window /= 4
 	}
 
-	start := time.Now()
-	rep := perf.Run(wl)
-	wall := time.Since(start).Seconds()
+	// The sim.* report is identical every trial (and we verify that);
+	// only the wall clock varies with host load, so keep the fastest
+	// trial — the one with the least interference.
+	var rep perf.Report
+	var wall float64
+	for i := 0; i < max(*repeat, 1); i++ {
+		start := time.Now()
+		r := perf.Run(wl)
+		w := time.Since(start).Seconds()
+		if i == 0 {
+			rep, wall = r, w
+			continue
+		}
+		if !reflect.DeepEqual(rep, r) {
+			fmt.Fprintln(os.Stderr, "perf: report differs between trials; the workload is supposed to be deterministic")
+			os.Exit(1)
+		}
+		if w < wall {
+			wall = w
+		}
+	}
 
 	var metrics []Metric
 	for _, a := range rep.Arms {
@@ -73,6 +94,10 @@ func main() {
 				Unit: "packets", Better: "higher", Tolerance: simTol, Gate: true},
 			Metric{Name: "sim." + a.Mode + ".events", Value: float64(a.Steps),
 				Unit: "events", Better: "lower", Tolerance: simTol, Gate: true},
+			Metric{Name: "sim.batch." + a.Mode + ".rx_frames_per_poll", Value: a.RxFramesPerPoll,
+				Unit: "frames", Better: "higher", Tolerance: simTol, Gate: true},
+			Metric{Name: "sim.batch." + a.Mode + ".tx_pkts_per_doorbell", Value: a.TxPktsPerDoorbell,
+				Unit: "packets", Better: "higher", Tolerance: simTol, Gate: true},
 		)
 	}
 	metrics = append(metrics,

@@ -138,4 +138,4 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 }
 
 // All lists every simlint analyzer, in reporting order.
-var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut, SeriesName}
+var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut, SeriesName, FramePool}

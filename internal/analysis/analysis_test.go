@@ -22,6 +22,10 @@ func TestSeriesName(t *testing.T) {
 	RunTest(t, "testdata", SeriesName, "seriesname/a")
 }
 
+func TestFramePool(t *testing.T) {
+	RunTest(t, "testdata", FramePool, "framepool/nic", "framepool/app", "framepool/wire")
+}
+
 // TestRepoClean is the self-application gate: the analyzers over the
 // whole module must report nothing, so a regression against any DESIGN.md
 // invariant fails the test suite, not just `make lint`.

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FramePool guards the pooled hot path: inside the packages that move
+// frames per packet (nic, netsim), every wire.Frame must come from the
+// shared FramePool — a fresh `make(wire.Frame, n)`, a Frame composite
+// literal, or a call to (*wire.Packet).Marshal (which allocates its own
+// backing array) reintroduces the per-packet allocation the batched poll
+// loop exists to kill, and silently unbalances the pool's gets == puts
+// leak accounting (the soak Put()s frames it never Got). Allocation must
+// go through pool.Get/pool.Clone, or happen outside the hot-path
+// packages entirely (tests and experiments build frames however they
+// like; those packages are not matched).
+//
+// Like wiremut, the check matches packages and types by name so fixtures
+// can model the contract.
+var FramePool = &Analyzer{
+	Name: "framepool",
+	Doc:  "hot-path packages (nic, netsim) allocate wire.Frames only through the frame pool",
+	Run:  runFramePool,
+}
+
+// framePoolHot lists the package names whose per-packet paths are pooled.
+var framePoolHot = map[string]bool{"nic": true, "netsim": true}
+
+func runFramePool(pass *Pass) error {
+	if !framePoolHot[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[e.Args[0]]; ok && tv.IsType() && isWireFrame(tv.Type) {
+						pass.Reportf(e.Pos(),
+							"fresh wire.Frame allocation on the pooled hot path: use the frame pool (pool.Get) so the batch loop stays allocation-free and gets == puts holds")
+					}
+				}
+				if isPacketMarshal(pass, e.Fun) {
+					pass.Reportf(e.Pos(),
+						"(*wire.Packet).Marshal allocates its own frame: on the pooled hot path use pool.Get + MarshalHeaders so the buffer is recycled")
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[e]; ok && isWireFrame(tv.Type) {
+					pass.Reportf(e.Pos(),
+						"fresh wire.Frame allocation on the pooled hot path: use the frame pool (pool.Get) so the batch loop stays allocation-free and gets == puts holds")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPacketMarshal reports whether fun selects the method Marshal on a
+// wire.Packet (by name, like isWireFrame, so fixtures can model it).
+func isPacketMarshal(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Marshal" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil && obj.Pkg().Name() == "wire"
+}

@@ -1,0 +1,11 @@
+// Package app models code outside the hot-path packages: tests and
+// experiments may build frames however they like.
+package app
+
+import "framepool/wire"
+
+func build(pkt *wire.Packet) wire.Frame {
+	f := make(wire.Frame, 64) // not a hot-path package: fine
+	f = append(f, wire.Frame{9}...)
+	return append(f, pkt.Marshal()...)
+}

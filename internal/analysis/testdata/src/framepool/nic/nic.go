@@ -1,0 +1,20 @@
+// Package nic models a pooled hot-path package: fresh Frame allocations
+// and the allocating Marshal are violations; pool.Get is the sanctioned
+// path.
+package nic
+
+import "framepool/wire"
+
+func transmit(pool *wire.FramePool, pkt *wire.Packet) wire.Frame {
+	bad := make(wire.Frame, 128) // want `fresh wire.Frame allocation on the pooled hot path`
+	lit := wire.Frame{1, 2, 3}   // want `fresh wire.Frame allocation on the pooled hot path`
+	marshalled := pkt.Marshal()  // want `Marshal allocates its own frame`
+	_, _, _ = bad, lit, marshalled
+
+	frame := pool.Get(128) // pooled allocation is the sanctioned path
+	pkt.MarshalHeaders(frame)
+
+	scratch := make([]byte, 16) // a plain []byte is not a frame
+	_ = scratch
+	return frame
+}

@@ -1,0 +1,77 @@
+package experiments
+
+// The determinism harness behind DESIGN.md invariant 13: the sharded
+// per-queue poll loop runs real goroutines, but every shared effect is
+// serialized in a fixed merge order, so one seeded world must render
+// byte-identical telemetry — the full registry snapshot and the Chrome
+// trace JSON — no matter how many OS threads the runtime schedules
+// (GOMAXPROCS) and no matter the order the shard workers are spawned in
+// (SetShardShuffle). Any scheduling-dependent leak into counters, RNG
+// draw order, or trace emission shows up here as a byte diff.
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/telemetry"
+)
+
+// determinismRun executes one fixed-seed chaos world — four RSS queues,
+// four shard workers, loss and reordering on the wire, offloaded ktls
+// streams — and returns the rendered metrics snapshot and trace bytes.
+func determinismRun(shuffle int64) (metrics, trace []byte) {
+	sys := telemetry.NewSystem(1 << 16)
+	UseTelemetry(sys)
+	defer UseTelemetry(nil)
+	w := NewPairWorld(netsim.LinkConfig{
+		Gbps:    10,
+		Latency: 2 * time.Microsecond,
+		AtoB:    netsim.FaultConfig{LossProb: 0.02, ReorderProb: 0.01},
+	}, nic.Config{Queues: 4, CtxCacheFlows: 64})
+	w.Sim.SetShardWorkers(4)
+	w.Sim.SetShardShuffle(shuffle)
+	RunIperf(w, IperfTLSOffload, 4, 32<<10, 4<<10, 800*time.Microsecond)
+	w.FlushTelemetry()
+	var mbuf, tbuf bytes.Buffer
+	sys.Reg.Snapshot().Fprint(&mbuf)
+	if err := sys.Trace.WriteChrome(&tbuf); err != nil {
+		panic(err)
+	}
+	return mbuf.Bytes(), tbuf.Bytes()
+}
+
+// TestShardedDeterminism re-runs the seeded sharded world across
+// GOMAXPROCS 1, 2, and 8 and across shuffled worker spawn orders, and
+// requires byte-identical output every time.
+func TestShardedDeterminism(t *testing.T) {
+	baseMetrics, baseTrace := determinismRun(0)
+	if len(baseTrace) == 0 || len(baseMetrics) == 0 {
+		t.Fatal("baseline run rendered no telemetry")
+	}
+	// The scenario must actually exercise the batched path: the poll-batch
+	// histograms exist and the NIC recorded polled frames and doorbells.
+	snap := string(baseMetrics)
+	for _, want := range []string{"batch.rx_frames", "batch.tx_pkts", "RxPolledFrames", "TxDoorbells"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("baseline snapshot missing %q — scenario is not driving the batched hot path", want)
+		}
+	}
+	for _, gmp := range []int{1, 2, 8} {
+		for _, shuffle := range []int64{0, 7, 42} {
+			prev := runtime.GOMAXPROCS(gmp)
+			m, tr := determinismRun(shuffle)
+			runtime.GOMAXPROCS(prev)
+			if !bytes.Equal(m, baseMetrics) {
+				t.Errorf("GOMAXPROCS=%d shuffle=%d: metrics snapshot diverged from baseline", gmp, shuffle)
+			}
+			if !bytes.Equal(tr, baseTrace) {
+				t.Errorf("GOMAXPROCS=%d shuffle=%d: chrome trace diverged from baseline", gmp, shuffle)
+			}
+		}
+	}
+}

@@ -58,15 +58,25 @@ func equivSchedule(seed int64) ChaosFaults {
 }
 
 // equivTLSRun drives one seeded ktls flow and returns the exact plaintext
-// each receiving connection delivered, in accept order.
-func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) (plain [][]byte, st nic.Stats, err error) {
+// each receiving connection delivered, in accept order. queues and workers
+// shape the sharded arm (≤1 keeps the defaults). After the fault window the
+// writers stop and the world drains to quiescence, so poolInUse is the
+// number of leaked frames — zero unless a hot-path owner lost one.
+func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration, queues, workers int) (plain [][]byte, st nic.Stats, poolInUse uint64, err error) {
 	// 100 Gbps like the chaos harness: a slower link builds a serializer
 	// backlog during establishment, and frames delivered inside the window
 	// would all predate the fault arming.
+	cfg := nic.Config{CtxCacheFlows: 64}
+	if queues > 1 {
+		cfg.Queues = queues
+	}
 	w := NewPairWorld(netsim.LinkConfig{
 		Gbps:    100,
 		Latency: 2 * time.Microsecond,
-	}, nic.Config{CtxCacheFlows: 64})
+	}, cfg)
+	if workers > 1 {
+		w.Sim.SetShardWorkers(workers)
+	}
 	w.Model.MinRTOMicros = 2000
 	w.Model.MaxRTOMicros = 500000
 	if f.ECN {
@@ -89,6 +99,7 @@ func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) 
 	const msgSize, recordSize = 64 << 10, 4 << 10
 	cliTLS, srvTLS := TLSKeys(recordSize)
 	var failure error
+	var stopped bool
 
 	w.Srv.Stack.Listen(5001, func(s *tcpip.Socket) {
 		id := len(plain)
@@ -125,7 +136,7 @@ func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) 
 				}
 			}
 			pump := func(c *ktls.Conn) {
-				for {
+				for !stopped {
 					fillPattern(scratch, *off)
 					n := c.Write(scratch)
 					if n <= 0 {
@@ -143,7 +154,14 @@ func equivTLSRun(f ChaosFaults, mode IperfMode, streams int, dur time.Duration) 
 	w.Link.SetFaultsAtoB(f.linkFaults(w.Sim.Now()))
 	armMTUFlaps(w.Sim, w.Sim.Now(), w.Link, f.MTUFlaps, w.Gen.Stack, w.Srv.Stack)
 	w.Sim.RunFor(dur)
-	return plain, w.Srv.NIC.Stats(), failure
+	// Leak barrier: stop the writers, let retransmissions and acks drain
+	// until the world quiesces, then count frames still out of the pool.
+	// Every drop/replace/complete path must have Put its frame by now.
+	stopped = true
+	for i := 0; i < 500 && !w.Sim.Quiesced(); i++ {
+		w.Sim.RunFor(10 * time.Millisecond)
+	}
+	return plain, w.Srv.NIC.Stats(), w.Pool.InUse(), failure
 }
 
 // TestOffloadEquivalenceSoak is the soak proper: over equivSeeds randomized
@@ -156,13 +174,16 @@ func TestOffloadEquivalenceSoak(t *testing.T) {
 	var resumes, searches, bytesCompared uint64
 	for seed := int64(1); seed <= equivSeeds; seed++ {
 		f := equivSchedule(seed)
-		off, offNIC, offErr := equivTLSRun(f, IperfTLSOffload, streams, window)
-		sw, _, swErr := equivTLSRun(f, IperfTLS, streams, window)
+		off, offNIC, offLeak, offErr := equivTLSRun(f, IperfTLSOffload, streams, window, 1, 0)
+		sw, _, swLeak, swErr := equivTLSRun(f, IperfTLS, streams, window, 1, 0)
 		if offErr != nil {
 			t.Fatalf("seed %d: offloaded run failed: %v", seed, offErr)
 		}
 		if swErr != nil {
 			t.Fatalf("seed %d: software run failed: %v", seed, swErr)
+		}
+		if offLeak != 0 || swLeak != 0 {
+			t.Errorf("seed %d: frame pool leak at teardown: off=%d sw=%d frames out", seed, offLeak, swLeak)
 		}
 		if len(off) != len(sw) {
 			t.Fatalf("seed %d: %d offloaded conns vs %d software", seed, len(off), len(sw))
@@ -197,6 +218,70 @@ func TestOffloadEquivalenceSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d seeds, %d bytes compared, %d searches, %d resumes",
 		equivSeeds, bytesCompared, searches, resumes)
+}
+
+// TestOffloadEquivalenceSoakSharded is the multi-queue arm of the soak: the
+// same equivalence contract, but alternating RSS queue counts (1/2/4) with
+// the sharded poll loop running real worker goroutines under the race
+// detector (`make soak` runs this file with -race). Two extra guarantees
+// ride along: traffic must be independent of the queue count — the software
+// ablation runs at the same queue count, so any order-dependence in the
+// batched path shows up as a plaintext divergence — and the frame pool must
+// be empty once each world drains (gets == puts at teardown).
+func TestOffloadEquivalenceSoakSharded(t *testing.T) {
+	const streams = 2
+	const window = 1500 * time.Microsecond
+	queueArms := []int{1, 2, 4}
+	var bytesCompared, resumes, searches uint64
+	for seed := int64(1); seed <= 6; seed++ {
+		queues := queueArms[int(seed)%len(queueArms)]
+		workers := 2 + int(seed)%3
+		f := equivSchedule(seed)
+		off, offNIC, offLeak, offErr := equivTLSRun(f, IperfTLSOffload, streams, window, queues, workers)
+		sw, _, swLeak, swErr := equivTLSRun(f, IperfTLS, streams, window, queues, workers)
+		if offErr != nil {
+			t.Fatalf("seed %d queues %d: offloaded run failed: %v", seed, queues, offErr)
+		}
+		if swErr != nil {
+			t.Fatalf("seed %d queues %d: software run failed: %v", seed, queues, swErr)
+		}
+		if offLeak != 0 || swLeak != 0 {
+			t.Errorf("seed %d queues %d: frame pool leak at teardown: off=%d sw=%d frames out",
+				seed, queues, offLeak, swLeak)
+		}
+		if len(off) != len(sw) {
+			t.Fatalf("seed %d queues %d: %d offloaded conns vs %d software", seed, queues, len(off), len(sw))
+		}
+		for id := range off {
+			n := min(len(off[id]), len(sw[id]))
+			if n == 0 {
+				t.Errorf("seed %d queues %d conn %d: empty common prefix (off=%d sw=%d)",
+					seed, queues, id, len(off[id]), len(sw[id]))
+				continue
+			}
+			if !bytes.Equal(off[id][:n], sw[id][:n]) {
+				t.Errorf("seed %d queues %d conn %d: plaintext diverges within first %d bytes",
+					seed, queues, id, n)
+			}
+			for i := 0; i < n; i++ {
+				if off[id][i] != chaosByte(uint64(i)) {
+					t.Errorf("seed %d queues %d conn %d: wrong byte at offset %d", seed, queues, id, i)
+					break
+				}
+			}
+			bytesCompared += uint64(n)
+		}
+		resumes += offNIC.RxResumes
+		searches += offNIC.RxSearches
+	}
+	if bytesCompared == 0 {
+		t.Fatal("sharded soak compared zero bytes")
+	}
+	if searches == 0 {
+		t.Error("sharded soak never drove the recovery path")
+	}
+	t.Logf("sharded soak: 6 seeds over queues 1/2/4, %d bytes compared, %d searches, %d resumes",
+		bytesCompared, searches, resumes)
 }
 
 // TestOffloadEquivalenceNVMe runs the NVMe-TCP arm of the soak: offloaded

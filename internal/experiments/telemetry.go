@@ -69,6 +69,7 @@ func (w *PairWorld) attachTelemetry(world string) {
 	w.Link.EnableTrace(tel.Trace, p+".link")
 	tel.Reg.RegisterCounters(p+".link.ab", w.Link.StatsPtrAtoB())
 	tel.Reg.RegisterCounters(p+".link.ba", w.Link.StatsPtrBtoA())
+	tel.Reg.RegisterCounters(p+".pool", w.Pool.StatsPtr())
 	w.Gen.attachTelemetry(p + ".gen")
 	w.Srv.attachTelemetry(p + ".srv")
 	attachSampler(w.Sim, p)
@@ -99,6 +100,7 @@ func (w *StorageWorld) attachTelemetry(world string) {
 	tel.Reg.RegisterCounters(p+".front.ba", w.Front.StatsPtrBtoA())
 	tel.Reg.RegisterCounters(p+".back.ab", w.Back.StatsPtrAtoB())
 	tel.Reg.RegisterCounters(p+".back.ba", w.Back.StatsPtrBtoA())
+	tel.Reg.RegisterCounters(p+".pool", w.Pool.StatsPtr())
 	w.Gen.attachTelemetry(p + ".gen")
 	w.Srv.attachTelemetry(p + ".srv")
 	w.Tgt.attachTelemetry(p + ".tgt")

@@ -49,6 +49,7 @@ func TLSKeys(recordSize int) (cli, srv ktls.Config) {
 type PairWorld struct {
 	Sim   *netsim.Simulator
 	Model cycles.Model
+	Pool  *wire.FramePool // shared by both NICs and the link
 	Link  *netsim.Link
 	Gen   *Machine // workload generator / client (side A)
 	Srv   *Machine // device under test / server (side B)
@@ -56,8 +57,10 @@ type PairWorld struct {
 
 // NewPairWorld builds the two-machine topology.
 func NewPairWorld(link netsim.LinkConfig, nicCfg nic.Config) *PairWorld {
-	w := &PairWorld{Sim: netsim.New(), Model: cycles.DefaultModel()}
+	w := &PairWorld{Sim: netsim.New(), Model: cycles.DefaultModel(), Pool: wire.NewFramePool()}
 	w.Link = netsim.NewLink(w.Sim, link)
+	w.Link.SetPool(w.Pool)
+	nicCfg.Pool = w.Pool
 	w.Gen = NewMachine(w.Sim, &w.Model, 1, w.Link.SendAtoB, nicCfg)
 	w.Srv = NewMachine(w.Sim, &w.Model, 2, w.Link.SendBtoA, nicCfg)
 	w.Link.AttachA(w.Gen.NIC)
@@ -72,8 +75,9 @@ func NewPairWorld(link netsim.LinkConfig, nicCfg nic.Config) *PairWorld {
 type StorageWorld struct {
 	Sim    *netsim.Simulator
 	Model  cycles.Model
-	Front  *netsim.Link // generator ↔ server
-	Back   *netsim.Link // server ↔ target
+	Pool   *wire.FramePool // shared by all three NICs and both links
+	Front  *netsim.Link    // generator ↔ server
+	Back   *netsim.Link    // server ↔ target
 	Gen    *Machine
 	Srv    *Machine
 	Tgt    *Machine
@@ -116,9 +120,12 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	if o.BackLink.Gbps == 0 {
 		o.BackLink = netsim.LinkConfig{Gbps: 100, Latency: 2 * time.Microsecond}
 	}
-	w := &StorageWorld{Sim: netsim.New(), Model: cycles.DefaultModel()}
+	w := &StorageWorld{Sim: netsim.New(), Model: cycles.DefaultModel(), Pool: wire.NewFramePool()}
 	w.Front = netsim.NewLink(w.Sim, o.FrontLink)
 	w.Back = netsim.NewLink(w.Sim, o.BackLink)
+	w.Front.SetPool(w.Pool)
+	w.Back.SetPool(w.Pool)
+	o.NICCfg.Pool = w.Pool
 
 	w.Gen = NewMachine(w.Sim, &w.Model, 1, w.Front.SendAtoB, o.NICCfg)
 	w.Srv = &Machine{Ledger: &cycles.Ledger{}}
@@ -127,11 +134,13 @@ func NewStorageWorld(o StorageOpts) *StorageWorld {
 	cfg.Model = &w.Model
 	cfg.Ledger = w.Srv.Ledger
 	w.Srv.NIC = nic.New(w.Srv.Stack, func(frame wire.Frame) {
-		pkt, err := wire.Parse(frame)
-		if err != nil {
+		// Route by a header peek: own transmissions always carry parseable
+		// headers, and the port decision needs no checksum verification.
+		flow, ok := wire.PeekFlow(frame)
+		if !ok {
 			return
 		}
-		if pkt.Flow.Dst.IP[3] == 1 {
+		if flow.Dst.IP[3] == 1 {
 			w.Front.SendBtoA(frame)
 		} else {
 			w.Back.SendAtoB(frame)

@@ -45,6 +45,34 @@ func NewCached(key []byte) (*Cipher, error) {
 	return c, nil
 }
 
+// aeadCache memoizes whole-message AEADs by key, alongside cipherCache.
+var aeadCache = make(map[string]cipher.AEAD)
+
+// AEADCached returns the standard library's AES-GCM AEAD for the key.
+// It produces byte-identical output to a Stream driven over the whole
+// message (the package tests assert equality), but crypto/cipher reaches
+// the hardware AES and carryless-multiply instructions the byte-table
+// Stream cannot. Host software uses it for whole-record seal/open — the
+// host CPU has AES-NI — while the incremental Stream remains the model of
+// the NIC's packet-by-packet engines and the partial-record fallback.
+func AEADCached(key []byte) (cipher.AEAD, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if a, ok := aeadCache[string(key)]; ok {
+		return a, nil
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("gcm: %w", err)
+	}
+	a, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("gcm: %w", err)
+	}
+	aeadCache[string(key)] = a
+	return a, nil
+}
+
 // Standard AES-GCM parameters.
 const (
 	// NonceSize is the GCM nonce length in bytes.
@@ -132,20 +160,32 @@ func trailingZeros8(b int) int {
 	return n
 }
 
-// mul sets y = y·H.
+// mul sets y = y·H. Fully unrolled: each table index is a constant-shift
+// byte extraction, so the compiler drops every bounds check and the 16
+// loads pipeline instead of serializing behind loop-carried shifts.
 func (c *Cipher) mul(y *fieldElement) {
 	t := &c.byteTable
-	var z fieldElement
 	lo, hi := y.low, y.high
-	for pos := 0; pos < 8; pos++ {
-		e := &t[pos][(lo>>uint(56-8*pos))&0xff]
-		z.low ^= e.low
-		z.high ^= e.high
-		e = &t[8+pos][(hi>>uint(56-8*pos))&0xff]
-		z.low ^= e.low
-		z.high ^= e.high
-	}
-	*y = z
+	e0 := t[0][lo>>56]
+	e1 := t[1][lo>>48&0xff]
+	e2 := t[2][lo>>40&0xff]
+	e3 := t[3][lo>>32&0xff]
+	e4 := t[4][lo>>24&0xff]
+	e5 := t[5][lo>>16&0xff]
+	e6 := t[6][lo>>8&0xff]
+	e7 := t[7][lo&0xff]
+	e8 := t[8][hi>>56]
+	e9 := t[9][hi>>48&0xff]
+	e10 := t[10][hi>>40&0xff]
+	e11 := t[11][hi>>32&0xff]
+	e12 := t[12][hi>>24&0xff]
+	e13 := t[13][hi>>16&0xff]
+	e14 := t[14][hi>>8&0xff]
+	e15 := t[15][hi&0xff]
+	y.low = e0.low ^ e1.low ^ e2.low ^ e3.low ^ e4.low ^ e5.low ^ e6.low ^ e7.low ^
+		e8.low ^ e9.low ^ e10.low ^ e11.low ^ e12.low ^ e13.low ^ e14.low ^ e15.low
+	y.high = e0.high ^ e1.high ^ e2.high ^ e3.high ^ e4.high ^ e5.high ^ e6.high ^ e7.high ^
+		e8.high ^ e9.high ^ e10.high ^ e11.high ^ e12.high ^ e13.high ^ e14.high ^ e15.high
 }
 
 // Direction selects whether a Stream produces ciphertext or plaintext.

@@ -1,6 +1,7 @@
 package ktls
 
 import (
+	"crypto/cipher"
 	"fmt"
 	"sort"
 
@@ -82,10 +83,25 @@ type Conn struct {
 	tr       *telemetry.Tracer // inherited from the socket's stack
 	traceTid string
 
-	txCipher *gcm.Cipher
+	// Whole-record software crypto uses the standard library AEAD (host
+	// CPUs have AES-NI and carryless multiply); the incremental rxCipher
+	// Stream serves only the partial-record mixed pass of §5.2, which must
+	// advance over arbitrary byte ranges. Both produce identical bytes.
+	txAEAD   cipher.AEAD
+	rxAEAD   cipher.AEAD
 	rxCipher *gcm.Cipher
 	txSeq    uint64 // next record index to transmit
 	rxSeq    uint64 // next record index expected from the wire
+
+	// Per-record scratch buffers, reused across records: both are
+	// consumed within the record's processing (WriteZC copies the
+	// assembled record into the socket; rxRec is only the AEAD's
+	// ciphertext input). Decrypted plaintext is NOT scratch — OnPlain
+	// consumers retain it (the NVMe PDU assembler buffers chunks across
+	// callbacks) — and neither are offload TX records, which are kept
+	// for recovery replay.
+	txScratch []byte // software-encrypt record assembly
+	rxRec     []byte // flattened wire record
 
 	// Transmit offload state.
 	txOffload bool
@@ -145,7 +161,7 @@ func NewConn(sock *tcpip.Socket, cfg Config) (*Conn, error) {
 	if cfg.RecordSize <= 0 || cfg.RecordSize > MaxPlaintext {
 		cfg.RecordSize = MaxPlaintext
 	}
-	txC, err := gcm.NewCached(cfg.Key)
+	aead, err := gcm.AEADCached(cfg.Key)
 	if err != nil {
 		return nil, fmt.Errorf("ktls: %w", err)
 	}
@@ -159,7 +175,8 @@ func NewConn(sock *tcpip.Socket, cfg Config) (*Conn, error) {
 		cfg:      cfg,
 		model:    stackModel(sock),
 		ledger:   stackLedger(sock),
-		txCipher: txC,
+		txAEAD:   aead,
+		rxAEAD:   aead,
 		rxCipher: rxC,
 		tr:       sock.StackTracer(),
 		traceTid: sock.StackTraceTid() + ".tls",
@@ -319,7 +336,15 @@ func (c *Conn) Write(p []byte) int {
 		if c.sock.WriteSpace() < total {
 			break
 		}
-		rec := make([]byte, total)
+		var rec []byte
+		if c.txOffload {
+			rec = make([]byte, total) // retained in txRecords below
+		} else {
+			if cap(c.txScratch) < total {
+				c.txScratch = make([]byte, total)
+			}
+			rec = c.txScratch[:total]
+		}
 		PutHeader(rec, n)
 		c.ledger.Charge(cycles.HostL5P, cycles.L5PFraming, c.model.L5PPerMessage, 0)
 		if c.txOffload {
@@ -339,10 +364,7 @@ func (c *Conn) Write(p []byte) int {
 			})
 		} else {
 			nonce := RecordNonce(c.cfg.TxIV, c.txSeq)
-			s := c.txCipher.NewStream(gcm.Seal, nonce[:], rec[:HeaderLen])
-			s.Update(rec[HeaderLen:HeaderLen+n], p[:n])
-			tag := s.Tag()
-			copy(rec[HeaderLen+n:], tag[:])
+			c.txAEAD.Seal(rec[HeaderLen:HeaderLen], nonce[:], p[:n], rec[:HeaderLen])
 			c.ledger.Charge(cycles.HostL5P, cycles.Encrypt, c.model.GCMCycles(n), n)
 			if !c.cfg.Sendfile {
 				// copy_from_user into the skb (the offload path pays the
@@ -598,14 +620,12 @@ func (c *Conn) emitBody(chunks []tcpip.Chunk, bodyLen int, plain []byte) {
 }
 
 func (c *Conn) softwareDecrypt(chunks []tcpip.Chunk, layout offload.MsgLayout, bodyLen int, recStart uint32) {
-	rec := flatten(chunks, layout.Total)
+	rec := flattenInto(&c.rxRec, chunks, layout.Total)
 	nonce := RecordNonce(c.cfg.RxIV, c.rxSeq)
-	s := c.rxCipher.NewStream(gcm.Open, nonce[:], rec[:HeaderLen])
-	plain := make([]byte, bodyLen)
-	s.Update(plain, rec[HeaderLen:HeaderLen+bodyLen])
 	c.ledger.Charge(cycles.HostL5P, cycles.Decrypt, c.model.GCMCycles(bodyLen), bodyLen)
 	c.Stats.SwDecryptBytes += uint64(bodyLen)
-	if !s.Verify(rec[HeaderLen+bodyLen:]) {
+	plain, err := c.rxAEAD.Open(make([]byte, 0, bodyLen), nonce[:], rec[HeaderLen:], rec[:HeaderLen])
+	if err != nil {
 		c.authFailed(fmt.Errorf("ktls: record %d authentication failed", c.rxSeq))
 		return
 	}
@@ -625,7 +645,7 @@ func (c *Conn) authFailed(err error) {
 }
 
 func (c *Conn) partialFallback(chunks []tcpip.Chunk, layout offload.MsgLayout, bodyLen int, recStart uint32) {
-	rec := flatten(chunks, layout.Total)
+	rec := flattenInto(&c.rxRec, chunks, layout.Total)
 	nonce := RecordNonce(c.cfg.RxIV, c.rxSeq)
 	s := c.rxCipher.NewStream(gcm.Open, nonce[:], rec[:HeaderLen])
 	plain := make([]byte, bodyLen)
@@ -664,11 +684,17 @@ func (c *Conn) partialFallback(chunks []tcpip.Chunk, layout offload.MsgLayout, b
 	c.emitBody(chunks, bodyLen, plain)
 }
 
-func flatten(chunks []tcpip.Chunk, total int) []byte {
-	out := make([]byte, 0, total)
+// flattenInto assembles the chunks into *buf, growing it as needed; the
+// result is valid until the next call with the same buf.
+func flattenInto(buf *[]byte, chunks []tcpip.Chunk, total int) []byte {
+	if cap(*buf) < total {
+		*buf = make([]byte, 0, total)
+	}
+	out := (*buf)[:0]
 	for _, ch := range chunks {
 		out = append(out, ch.Data...)
 	}
+	*buf = out
 	return out
 }
 

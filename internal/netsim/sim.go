@@ -5,8 +5,11 @@
 //
 // Determinism matters here: the paper's §6.4 experiments sweep loss and
 // reordering probabilities, and the offload statistics (fully / partially /
-// not offloaded records) must be reproducible run to run. Everything is
-// single-threaded; randomness comes only from explicitly seeded generators.
+// not offloaded records) must be reproducible run to run. The event loop is
+// serial; randomness comes only from explicitly seeded generators. The one
+// sanctioned form of concurrency is the ShardRun barrier (shard.go): pure,
+// lane-disjoint jobs fanned out inside a single event and joined before any
+// shared state is touched, so results are byte-identical at any GOMAXPROCS.
 package netsim
 
 import (
@@ -26,11 +29,12 @@ type Simulator struct {
 	steps    uint64
 	queue    eventQueue
 	periodic []*periodicHook
+	shard    shardState
 }
 
 // New returns an empty simulator at virtual time zero.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{shard: shardState{workers: defaultShardWorkers()}}
 }
 
 // Now returns the current virtual time.
@@ -350,7 +354,17 @@ type Link struct {
 	// tooBig holds per-direction PMTUD callbacks (NotifyTooBigA/B), fired
 	// one link latency after an MTU drop of that direction's frame.
 	tooBig [2]func(mtu int)
+	pool   *wire.FramePool
 }
+
+// SetPool makes the link a frame-pool citizen: frames it drops (loss,
+// burst, blackout, MTU) return to the pool, and the private copies it
+// makes for duplication, corruption, and CE marking are pool-backed
+// (replaced originals return too). Only set a pool when every sender on
+// this link allocates its frames from the same pool — the receiving
+// endpoints then own returning delivered frames — so gets and puts
+// balance when the world quiesces.
+func (l *Link) SetPool(p *wire.FramePool) { l.pool = p }
 
 type direction struct {
 	rng      *rand.Rand
@@ -470,6 +484,7 @@ func (l *Link) send(dir int, frame wire.Frame) {
 			mtu := l.cfg.MTU
 			l.sim.After(l.cfg.Latency, func() { cb(mtu) })
 		}
+		l.pool.Put(frame)
 		return
 	}
 
@@ -493,6 +508,7 @@ func (l *Link) send(dir int, frame wire.Frame) {
 			d.stats.BlackoutDrops++
 			d.stats.Dropped++
 			l.tracer.Instant("net", "pkt.drop.blackout", l.tids[dir])
+			l.pool.Put(frame)
 			return
 		}
 	}
@@ -514,12 +530,14 @@ func (l *Link) send(dir int, frame wire.Frame) {
 			d.stats.BurstDropped++
 			d.stats.Dropped++
 			l.tracer.Instant("net", "pkt.drop.burst", l.tids[dir])
+			l.pool.Put(frame)
 			return
 		}
 	}
 	if fc.LossProb > 0 && d.rng.Float64() < fc.LossProb {
 		d.stats.Dropped++
 		l.tracer.Instant("net", "pkt.drop.loss", l.tids[dir])
+		l.pool.Put(frame)
 		return
 	}
 	if fc.ReorderProb > 0 && d.rng.Float64() < fc.ReorderProb {
@@ -531,9 +549,10 @@ func (l *Link) send(dir int, frame wire.Frame) {
 		arrive += extra
 	}
 	// Corruption damages a private copy so the sender's retransmit buffers
-	// (and a later duplicate of the same frame) are unaffected.
+	// (and a later duplicate of the same frame) are unaffected. With a pool
+	// the copy is pool-backed and the replaced original is returned.
 	if fc.CorruptProb > 0 && d.rng.Float64() < fc.CorruptProb {
-		dam := frame.Clone()
+		dam := l.pool.Clone(frame)
 		changed := false
 		if fc.Corrupter != nil {
 			changed = fc.Corrupter(d.rng, dam)
@@ -543,7 +562,10 @@ func (l *Link) send(dir int, frame wire.Frame) {
 		if changed {
 			d.stats.Corrupted++
 			l.tracer.Instant("net", "pkt.corrupt", l.tids[dir])
+			l.pool.Put(frame)
 			frame = dam
+		} else {
+			l.pool.Put(dam)
 		}
 	}
 	// ECN: an AQM router under (simulated) congestion rewrites ECT frames
@@ -552,11 +574,14 @@ func (l *Link) send(dir int, frame wire.Frame) {
 	// through and still consume the draw, keeping the sequence a pure
 	// function of the config.
 	if fc.CEMarkProb > 0 && d.rng.Float64() < fc.CEMarkProb {
-		marked := frame.Clone()
+		marked := l.pool.Clone(frame)
 		if wire.SetCE(marked) {
 			d.stats.CEMarked++
 			l.tracer.Instant("net", "pkt.ce", l.tids[dir])
+			l.pool.Put(frame)
 			frame = marked
+		} else {
+			l.pool.Put(marked)
 		}
 	}
 	deliver := func() {
@@ -571,7 +596,7 @@ func (l *Link) send(dir int, frame wire.Frame) {
 	l.sim.At(arrive, deliver)
 	if fc.DupProb > 0 && d.rng.Float64() < fc.DupProb {
 		d.stats.Duplicated++
-		dup := frame.Clone()
+		dup := l.pool.Clone(frame)
 		l.sim.At(arrive+maxDuration(serialize, time.Microsecond), func() {
 			d.stats.Delivered++
 			d.stats.Bytes += uint64(len(dup))

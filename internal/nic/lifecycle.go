@@ -39,8 +39,17 @@ var LifecycleStages = []string{
 	"lc.rx.deliver_ns",  // host stack delivery (including work it triggers, e.g. ACKs)
 }
 
+// BatchStages lists the batch-size histogram name prefixes: how many
+// frames each receive poll completed and how many packets each doorbell
+// flushed, per queue (values are counts, not nanoseconds). Registered
+// alongside the lifecycle stages as "<label>.<s>.q<i>".
+var BatchStages = []string{
+	"batch.rx_frames", // frames completed by one receive poll
+	"batch.tx_pkts",   // packets flushed by one coalesced doorbell
+}
+
 // lcQueue holds one queue's resolved stage histograms, in the order of
-// LifecycleStages.
+// LifecycleStages, plus the BatchStages batch-size histograms.
 type lcQueue struct {
 	txEnqueue  *telemetry.Histogram
 	txDoorbell *telemetry.Histogram
@@ -49,6 +58,8 @@ type lcQueue struct {
 	rxEngine   *telemetry.Histogram
 	rxDMA      *telemetry.Histogram
 	rxDeliver  *telemetry.Histogram
+	rxBatch    *telemetry.Histogram
+	txBatch    *telemetry.Histogram
 }
 
 // lifecycle is the NIC's stage clock. Disabled (enabled=false) it is
@@ -81,6 +92,8 @@ func (lc *lifecycle) init(m *cycles.Model, reg *telemetry.Registry, label string
 			rxEngine:   reg.Histogram(prefix + LifecycleStages[4] + suffix),
 			rxDMA:      reg.Histogram(prefix + LifecycleStages[5] + suffix),
 			rxDeliver:  reg.Histogram(prefix + LifecycleStages[6] + suffix),
+			rxBatch:    reg.Histogram(prefix + BatchStages[0] + suffix),
+			txBatch:    reg.Histogram(prefix + BatchStages[1] + suffix),
 		}
 	}
 }

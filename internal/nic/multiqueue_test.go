@@ -50,10 +50,11 @@ func TestQueueSteeringDeterministic(t *testing.T) {
 }
 
 func TestPerQueueStatsMergeAndSpread(t *testing.T) {
-	_, _, _, _, nb := world(t, Config{Queues: 4})
+	sim, _, _, _, nb := world(t, Config{Queues: 4})
 	for i := 0; i < 16; i++ {
 		nb.DeliverFrame(frameFor(flowTo(i), 1000, 8))
 	}
+	flush(sim)
 	var sum, spread uint64
 	queues := 0
 	for i := 0; i < nb.NumQueues(); i++ {
@@ -80,7 +81,7 @@ func TestSharedCacheAcrossQueues(t *testing.T) {
 	// A 2-entry cache shared by 4 queues: flows steered to different
 	// queues still evict each other, because contexts live in device
 	// memory, not queue memory.
-	_, _, _, _, nb := world(t, Config{Queues: 4, CtxCacheFlows: 2})
+	sim, _, _, _, nb := world(t, Config{Queues: 4, CtxCacheFlows: 2})
 
 	// Pick 4 flows on at least 2 distinct queues.
 	flows := make([]wire.FlowID, 0, 4)
@@ -104,6 +105,7 @@ func TestSharedCacheAcrossQueues(t *testing.T) {
 		for _, f := range flows {
 			nb.DeliverFrame(frameFor(f, seq, 8))
 		}
+		flush(sim)
 		seq += 12
 	}
 	st := nb.Stats()
@@ -132,12 +134,13 @@ func TestChurnAttachDetachLeavesNoState(t *testing.T) {
 	// Churn the engine lifecycle hard and assert every per-queue map and
 	// the shared cache return to baseline — the leak the shared-cache
 	// refactor could have introduced.
-	_, _, _, _, nb := world(t, Config{Queues: 4, CtxCacheFlows: 8})
+	sim, _, _, _, nb := world(t, Config{Queues: 4, CtxCacheFlows: 8})
 	for i := 0; i < 128; i++ {
 		f := flowTo(i)
 		nb.AttachRx(f, offload.NewRxEngine(&passOps{}, 1000, nil))
 		nb.DeliverFrame(frameFor(f, 1000, 8))
 		nb.DeliverFrame(frameFor(f, 1012, 8))
+		flush(sim)
 		if nb.CacheLen() > 8 {
 			t.Fatalf("iteration %d: CacheLen %d exceeds bound 8", i, nb.CacheLen())
 		}
@@ -163,7 +166,7 @@ func TestChaosInvalidationSharedCacheConsistent(t *testing.T) {
 	// Whole-cache chaos invalidation with multiple queues: the cache map
 	// and list stay consistent (no stale entries, bound holds) and detach
 	// still drains to empty afterwards.
-	_, _, _, _, nb := world(t, Config{
+	sim, _, _, _, nb := world(t, Config{
 		Queues:        4,
 		CtxCacheFlows: 4,
 		Chaos:         &ChaosConfig{Seed: 3, CtxInvalidateProb: 0.2},
@@ -178,6 +181,7 @@ func TestChaosInvalidationSharedCacheConsistent(t *testing.T) {
 		for _, f := range flows {
 			nb.DeliverFrame(frameFor(f, seq, 8))
 		}
+		flush(sim)
 		seq += 12
 		if nb.CacheLen() > 4 {
 			t.Fatalf("round %d: CacheLen %d exceeds bound 4", round, nb.CacheLen())
@@ -203,8 +207,9 @@ func TestDropRxChecksumErrorsModes(t *testing.T) {
 	}
 
 	t.Run("drop", func(t *testing.T) {
-		_, _, b, _, nb := world(t, Config{DropRxChecksumErrors: true})
+		sim, _, b, _, nb := world(t, Config{DropRxChecksumErrors: true})
 		nb.DeliverFrame(corrupt(flowTo(0)))
+		flush(sim)
 		st := nb.Stats()
 		if st.RxBadFrames != 1 {
 			t.Errorf("RxBadFrames = %d, want 1", st.RxBadFrames)
@@ -219,8 +224,9 @@ func TestDropRxChecksumErrorsModes(t *testing.T) {
 	})
 
 	t.Run("deliver", func(t *testing.T) {
-		_, _, b, _, nb := world(t, Config{DropRxChecksumErrors: false})
+		sim, _, b, _, nb := world(t, Config{DropRxChecksumErrors: false})
 		nb.DeliverFrame(corrupt(flowTo(0)))
+		flush(sim)
 		st := nb.Stats()
 		if st.RxBadFrames != 1 {
 			t.Errorf("RxBadFrames = %d, want 1", st.RxBadFrames)

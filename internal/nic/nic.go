@@ -19,6 +19,7 @@ package nic
 import (
 	"container/list"
 	"strconv"
+	"time"
 
 	"repro/internal/cycles"
 	"repro/internal/meta"
@@ -53,7 +54,25 @@ type Config struct {
 	DropRxChecksumErrors bool
 	// Chaos, when set, injects NIC-internal faults (chaos.go).
 	Chaos *ChaosConfig
+	// Pool recycles frame buffers across the transmit and receive paths.
+	// All NICs and links of one world must share it (see wire.FramePool).
+	// Nil falls back to per-frame allocation.
+	Pool *wire.FramePool
+	// RxPollBudget caps how many frames one receive-poll event processes
+	// per queue (the NAPI budget); remaining frames are handled by a
+	// re-scheduled poll. 0 means DefaultRxPollBudget.
+	RxPollBudget int
+	// RxPollDelay is the interrupt-coalescing window: the receive poll
+	// fires this long after the frame that armed it, letting line-rate
+	// traffic accumulate a batch per poll instead of one frame per event.
+	// Zero polls at the arming timestamp (no added latency). Adds up to
+	// one delay of receive latency, like rx-usecs on a real NIC.
+	RxPollDelay time.Duration
 }
+
+// DefaultRxPollBudget is the per-queue frame budget of one receive poll
+// when Config.RxPollBudget is zero — the NAPI_POLL_WEIGHT of the model.
+const DefaultRxPollBudget = 64
 
 // Stats counts device events. Each queue carries its own block; NIC.Stats
 // merges them into the whole-device view.
@@ -85,6 +104,39 @@ type Stats struct {
 	// RxCEMarks counts received frames carrying the ECN CE codepoint — the
 	// congestion signal the NIC sees on the wire before TCP reacts to it.
 	RxCEMarks uint64
+
+	// Batching counters: how often the polled hot path fired and how much
+	// work each firing moved. Frames-per-poll and packets-per-doorbell
+	// ratios are the "is batching actually happening" gauges of the perf
+	// harness.
+	RxPolls           uint64 // receive poll events that found work on this queue
+	RxPolledFrames    uint64 // frames those polls completed
+	TxDoorbells       uint64 // doorbell events that found posted packets
+	TxDoorbellPackets uint64 // packets those doorbells flushed
+}
+
+// rxSlot parks one arrived frame on the receive backlog until the next
+// poll event completes it. The slot is tagged with its steered queue;
+// pkt/err are filled by the poll's parallel parse phase (shard-local: the
+// worker for queue i writes only queue-i slots).
+type rxSlot struct {
+	q     *Queue
+	frame wire.Frame
+	pkt   *wire.Packet
+	err   error
+}
+
+// txSlot is one posted packet awaiting the coalesced doorbell. The frame
+// already carries a copy of the payload — pkt.Payload is valid only during
+// the Transmit call (tcpip.NetDevice), so the "DMA" out of the send buffer
+// happens at post time. Headers serialize at doorbell time, after the
+// engines have transformed the payload.
+type txSlot struct {
+	q         *Queue
+	pkt       *wire.Packet
+	frame     wire.Frame
+	driverCyc float64 // driver cycles charged for this packet (engine phase)
+	nicNs     int64   // lifecycle tx.engine nanoseconds (engine phase)
 }
 
 // Queue is one RX/TX queue pair. Flows are steered here by the RSS hash;
@@ -98,10 +150,38 @@ type Queue struct {
 	rx     map[wire.FlowID][]*offload.RxEngine
 	rxSeen map[*offload.RxEngine]rxSeen
 
+	// touched lists engines run since the last harvest, so completion
+	// counters fold once per poll batch instead of once per packet.
+	touched []*offload.RxEngine
+
 	// Stats is exported for experiments and registered per queue with the
 	// telemetry registry; treat as read-only. NIC.Stats() returns every
 	// queue merged.
 	Stats Stats
+}
+
+// noteTouched marks an engine as run in the current receive batch. The
+// slice stays tiny (engines per queue per batch), so a linear scan beats
+// any map.
+func (q *Queue) noteTouched(e *offload.RxEngine) {
+	for _, t := range q.touched {
+		if t == e {
+			return
+		}
+	}
+	q.touched = append(q.touched, e)
+}
+
+// forgetTouched drops an engine from the pending-harvest list; DetachRx
+// calls it after the final harvest so a batch-deferred harvest cannot
+// resurrect the engine's rxSeen snapshot.
+func (q *Queue) forgetTouched(e *offload.RxEngine) {
+	for i, t := range q.touched {
+		if t == e {
+			q.touched = append(q.touched[:i], q.touched[i+1:]...)
+			return
+		}
+	}
 }
 
 // ID returns the queue's index.
@@ -122,8 +202,28 @@ type NIC struct {
 	cfg   Config
 	stack *tcpip.Stack
 	send  func(frame wire.Frame)
+	sim   *netsim.Simulator
+	pool  *wire.FramePool
 
 	queues []*Queue
+
+	// The batched hot path's descriptor backlogs, in arrival/post order.
+	// DeliverFrame/Transmit only enqueue; the poll and doorbell events
+	// drain. Completion runs in this global order — not queue order — so
+	// the traffic a run produces is independent of the queue count (the
+	// churn invariant) as well as of GOMAXPROCS. rxDefer is the poll's
+	// double buffer for over-budget leftovers; pollCounts is reusable
+	// per-queue scratch.
+	rxBacklog  []rxSlot
+	rxDefer    []rxSlot
+	txBacklog  []txSlot
+	pollCounts []int
+
+	// One pending poll/doorbell event device-wide: enqueues coalesce onto
+	// it, the way interrupt mitigation coalesces completions in a real
+	// driver.
+	rxPollPending     bool
+	txDoorbellPending bool
 
 	// Context cache (LRU by flow+direction key), shared by all queues.
 	cacheList *list.List
@@ -159,14 +259,20 @@ func New(stack *tcpip.Stack, send func(frame wire.Frame), cfg Config) *NIC {
 	if cfg.Queues <= 0 {
 		cfg.Queues = 1
 	}
+	if cfg.RxPollBudget <= 0 {
+		cfg.RxPollBudget = DefaultRxPollBudget
+	}
 	n := &NIC{
 		cfg:       cfg,
 		stack:     stack,
 		send:      send,
+		sim:       stack.Sim(),
+		pool:      cfg.Pool,
 		cacheList: list.New(),
 		cacheMap:  make(map[cacheKey]*list.Element),
 		chaos:     newChaosState(cfg.Chaos),
 	}
+	n.pollCounts = make([]int, cfg.Queues)
 	for i := 0; i < cfg.Queues; i++ {
 		n.queues = append(n.queues, &Queue{
 			id:     i,
@@ -284,94 +390,251 @@ func (n *NIC) DetachRx(flow wire.FlowID) {
 		e.FlushTelemetry()
 		q.harvestRx(e)
 		delete(q.rxSeen, e)
+		q.forgetTouched(e)
 	}
 	delete(q.rx, flow)
 	n.cacheDrop(cacheKey{flow: flow, rx: true})
 }
 
 // Transmit implements tcpip.NetDevice: the driver posts the packet on the
-// flow's queue, offload engines transform the payload in place, and the
-// frame goes on the wire.
+// flow's queue ring and rings (or coalesces onto) the doorbell. The
+// payload is copied into pooled frame memory now — the packet's payload
+// slice aliases the stack's send buffer and is valid only during this
+// call — and the doorbell event does everything else in a batch.
 func (n *NIC) Transmit(pkt *wire.Packet) {
-	m := n.cfg.Model
-	lg := n.cfg.Ledger
 	q := n.QueueFor(pkt.Flow)
-	q.Stats.TxPackets++
-	lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
-	driverCyc := m.DriverPerPacket
-
-	// Lifecycle accounting: ledger deltas around the engine section split
-	// the NIC-side engine work (cycles.NIC) and recovery context DMA from
-	// the driver/doorbell costs.
-	lcOn := n.lc.enabled
-	var nicCycBefore, ctxBytesBefore float64
-	if lcOn {
-		nicCycBefore = lg.NICCycles()
-		ctxBytesBefore = float64(lg.PCIeBytes(cycles.CtxDMA))
+	frame := n.pool.Get(pkt.WireLen())
+	copy(frame[pkt.PayloadOffset():], pkt.Payload)
+	n.txBacklog = append(n.txBacklog, txSlot{q: q, pkt: pkt, frame: frame})
+	if !n.txDoorbellPending {
+		n.txDoorbellPending = true
+		n.sim.At(n.sim.Now(), n.txDoorbell)
 	}
-
-	engines := q.tx[pkt.Flow]
-	if len(engines) > 0 && len(pkt.Payload) > 0 {
-		n.cacheTouch(q, cacheKey{flow: pkt.Flow})
-		for _, e := range engines {
-			before := e.Stats.RecoveryDMABytes
-			recovered := e.Stats.Recoveries
-			e.Process(pkt.Seq, pkt.Payload)
-			if dma := e.Stats.RecoveryDMABytes - before; dma > 0 {
-				// Context recovery re-read host memory over PCIe (Fig. 6)
-				// and posted a special resync descriptor (§4.1).
-				q.Stats.TxRecoveryDMA += dma
-				lg.Charge(cycles.PCIe, cycles.CtxDMA, 0, int(dma))
-			}
-			if e.Stats.Recoveries > recovered {
-				lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerOffloadDescr, 0)
-				driverCyc += m.DriverPerOffloadDescr
-			}
-		}
-	}
-
-	frame := pkt.Marshal()
-	q.Stats.TxBytes += uint64(len(frame))
-	// Packet payload and descriptor cross PCIe by DMA.
-	lg.Charge(cycles.PCIe, cycles.DMA, 0, len(frame))
-	n.tracer.Instant2("dma", "dma.tx", n.label, "bytes", int64(len(frame)), "seq", int64(pkt.Seq))
-	if lcOn {
-		lq := &n.lc.queues[q.id]
-		lq.txEnqueue.Record(n.lc.cyclesNs(pkt.TxCycles))
-		lq.txDoorbell.Record(n.lc.cyclesNs(driverCyc) + n.lc.pcieNs(len(frame)))
-		lq.txEngine.Record(n.lc.cyclesNs(lg.NICCycles()-nicCycBefore) +
-			n.lc.pcieNs(int(float64(lg.PCIeBytes(cycles.CtxDMA))-ctxBytesBefore)))
-	}
-	n.send(frame)
 }
 
-// DeliverFrame implements netsim.Endpoint: parse the frame (hardware
-// computes the RSS hash from the headers before anything else, so queue
-// selection precedes the checksum verdict), verify checksums, run the
-// queue's receive offload engines, and hand the packet with its verdict
-// flags to the stack.
-func (n *NIC) DeliverFrame(frame wire.Frame) {
+// txDoorbell flushes every posted packet in one coalesced doorbell at the
+// posting timestamp. Three phases keep it deterministic (DESIGN.md
+// invariant 13): a serial engine phase in post order (engines mutate the
+// ledger, the shared context cache, and telemetry), a parallel
+// serialization phase under the ShardRun barrier (header writeback +
+// checksums touch only each slot's own frame; the worker for queue i
+// handles queue-i slots), and a serial completion phase back in post
+// order (charges, traces, wire) — so the frames a run emits are
+// independent of both the queue count and GOMAXPROCS.
+func (n *NIC) txDoorbell() {
+	n.txDoorbellPending = false
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
-	pkt, err := wire.Parse(frame)
-	// Frames too mangled to carry a flow steer to queue 0 by convention.
+	lcOn := n.lc.enabled
+	batch := n.txBacklog
+	counts := n.pollCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range batch {
+		s := &batch[i]
+		q := s.q
+		counts[q.id]++
+		q.Stats.TxPackets++
+		lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerPacket, 0)
+		s.driverCyc = m.DriverPerPacket
+		var nicCycBefore, ctxBytesBefore float64
+		if lcOn {
+			nicCycBefore = lg.NICCycles()
+			ctxBytesBefore = float64(lg.PCIeBytes(cycles.CtxDMA))
+		}
+		engines := q.tx[s.pkt.Flow]
+		payload := s.frame[s.pkt.PayloadOffset():]
+		if len(engines) > 0 && len(payload) > 0 {
+			n.cacheTouch(q, cacheKey{flow: s.pkt.Flow})
+			for _, e := range engines {
+				before := e.Stats.RecoveryDMABytes
+				recovered := e.Stats.Recoveries
+				e.Process(s.pkt.Seq, payload)
+				if dma := e.Stats.RecoveryDMABytes - before; dma > 0 {
+					// Context recovery re-read host memory over PCIe
+					// (Fig. 6) and posted a special resync descriptor
+					// (§4.1).
+					q.Stats.TxRecoveryDMA += dma
+					lg.Charge(cycles.PCIe, cycles.CtxDMA, 0, int(dma))
+				}
+				if e.Stats.Recoveries > recovered {
+					lg.Charge(cycles.HostDriver, cycles.Driver, m.DriverPerOffloadDescr, 0)
+					s.driverCyc += m.DriverPerOffloadDescr
+				}
+			}
+		}
+		if lcOn {
+			s.nicNs = n.lc.cyclesNs(lg.NICCycles()-nicCycBefore) +
+				n.lc.pcieNs(int(float64(lg.PCIeBytes(cycles.CtxDMA))-ctxBytesBefore))
+		}
+	}
+	for qi, c := range counts {
+		if c == 0 {
+			continue
+		}
+		q := n.queues[qi]
+		q.Stats.TxDoorbells++
+		q.Stats.TxDoorbellPackets += uint64(c)
+		if lcOn {
+			n.lc.queues[qi].txBatch.Record(int64(c))
+		}
+	}
+	n.sim.ShardRun(len(n.queues), func(qi int) {
+		for i := range batch {
+			s := &batch[i]
+			if s.q.id == qi {
+				s.pkt.MarshalHeaders(s.frame)
+			}
+		}
+	})
+	for i := range batch {
+		s := batch[i]
+		batch[i] = txSlot{}
+		q := s.q
+		q.Stats.TxBytes += uint64(len(s.frame))
+		// Packet payload and descriptor cross PCIe by DMA.
+		lg.Charge(cycles.PCIe, cycles.DMA, 0, len(s.frame))
+		n.tracer.Instant2("dma", "dma.tx", n.label, "bytes", int64(len(s.frame)), "seq", int64(s.pkt.Seq))
+		if lcOn {
+			lq := &n.lc.queues[q.id]
+			lq.txEnqueue.Record(n.lc.cyclesNs(s.pkt.TxCycles))
+			lq.txDoorbell.Record(n.lc.cyclesNs(s.driverCyc) + n.lc.pcieNs(len(s.frame)))
+			lq.txEngine.Record(s.nicNs)
+		}
+		n.send(s.frame)
+	}
+	// A reentrant Transmit during the flush (none today, but cheap to stay
+	// correct about) appended past the batch and scheduled its own
+	// doorbell; keep only that tail.
+	rem := copy(n.txBacklog, n.txBacklog[len(batch):])
+	n.txBacklog = n.txBacklog[:rem]
+}
+
+// DeliverFrame implements netsim.Endpoint: hardware steers the frame to a
+// queue from a header peek (the RSS hash precedes any checksum verdict;
+// frames too mangled to carry a flow park on queue 0 by convention) and
+// posts it on the queue's receive ring. A polled completion event —
+// scheduled once, however many frames land in the meantime — does parse,
+// verification, engines, and delivery in batches.
+func (n *NIC) DeliverFrame(frame wire.Frame) {
 	q := n.queues[0]
-	if pkt != nil {
-		q = n.QueueFor(pkt.Flow)
+	if flow, ok := wire.PeekFlow(frame); ok {
+		q = n.QueueFor(flow)
 	}
 	// The wire stage is real virtual time, reported by the link through
 	// NoteWireLatency just before this call; attribute it to the frame's
 	// queue now that steering is known. Every arriving frame crossed the
 	// wire, so record ahead of the stall/checksum verdicts.
-	lcOn := n.lc.enabled
-	if lcOn && n.lc.pendingWireNs > 0 {
+	if n.lc.enabled && n.lc.pendingWireNs > 0 {
 		n.lc.queues[q.id].wire.Record(n.lc.pendingWireNs)
 		n.lc.pendingWireNs = 0
 	}
 	if n.stallDrop(q) {
-		return // receive ring stalled: frame lost, TCP will retransmit
+		n.pool.Put(frame) // receive ring stalled: frame lost, TCP retransmits
+		return
 	}
-	if err != nil {
+	n.rxBacklog = append(n.rxBacklog, rxSlot{q: q, frame: frame})
+	if !n.rxPollPending {
+		n.rxPollPending = true
+		n.sim.At(n.sim.Now()+n.cfg.RxPollDelay, n.rxPoll)
+	}
+}
+
+// rxPoll is the NAPI-style completion handler: one event drains up to
+// RxPollBudget frames per queue from the arrival-order backlog. Parse +
+// checksum verification — the expensive pure work — runs per queue under
+// the ShardRun barrier; every shared effect (stats, ledger, cache,
+// engines, tracer, stack delivery, frame recycling) then runs serially in
+// arrival order, which keeps traces and metrics byte-identical at any
+// GOMAXPROCS and queue count (DESIGN.md invariant 13). Over-budget
+// leftovers re-schedule the poll at the same timestamp.
+func (n *NIC) rxPoll() {
+	n.rxPollPending = false
+	budget := n.cfg.RxPollBudget
+	// Take an arrival-order slice of the backlog, capped per queue by the
+	// budget: a queue that exhausts its budget parks its later frames for
+	// the next poll without holding up other queues' arrivals.
+	backlog := n.rxBacklog
+	deferred := n.rxDefer[:0]
+	counts := n.pollCounts
+	for i := range counts {
+		counts[i] = 0
+	}
+	w := 0
+	for i := range backlog {
+		s := backlog[i]
+		if counts[s.q.id] < budget {
+			counts[s.q.id]++
+			backlog[w] = s
+			w++
+		} else {
+			deferred = append(deferred, s)
+		}
+	}
+	batch := backlog[:w]
+	for i := w; i < len(backlog); i++ {
+		backlog[i] = rxSlot{}
+	}
+	// Parallel parse phase: the worker for queue i verifies queue-i frames
+	// (lane-disjoint pure work).
+	n.sim.ShardRun(len(n.queues), func(qi int) {
+		for i := range batch {
+			s := &batch[i]
+			if s.q.id == qi {
+				s.pkt, s.err = wire.Parse(s.frame)
+			}
+		}
+	})
+	for qi, c := range counts {
+		if c == 0 {
+			continue
+		}
+		q := n.queues[qi]
+		q.Stats.RxPolls++
+		q.Stats.RxPolledFrames += uint64(c)
+		if n.lc.enabled {
+			n.lc.queues[qi].rxBatch.Record(int64(c))
+		}
+	}
+	// Serial merge phase, arrival order.
+	for i := range batch {
+		s := batch[i]
+		batch[i] = rxSlot{}
+		n.rxComplete(s.q, s)
+		// The stack copied what it keeps (its "DMA" into socket buffer
+		// memory), so the frame recycles immediately.
+		n.pool.Put(s.frame)
+	}
+	// Fold engine completion counters once per touched engine per batch,
+	// not once per packet.
+	for _, q := range n.queues {
+		for _, e := range q.touched {
+			q.harvestRx(e)
+		}
+		q.touched = q.touched[:0]
+	}
+	// Swap double buffers: deferred frames become the next poll's backlog.
+	// A reentrant DeliverFrame during the merge (none today) appended past
+	// the batch; keep that tail too.
+	tail := n.rxBacklog[len(backlog):]
+	deferred = append(deferred, tail...)
+	n.rxBacklog = deferred
+	n.rxDefer = backlog[:0]
+	if len(deferred) > 0 && !n.rxPollPending {
+		n.rxPollPending = true
+		n.sim.At(n.sim.Now(), n.rxPoll)
+	}
+}
+
+// rxComplete finishes one parsed frame: checksum verdict, DMA/driver
+// charges, receive offload engines, and stack delivery. Serial-phase only.
+func (n *NIC) rxComplete(q *Queue, s rxSlot) {
+	m := n.cfg.Model
+	lg := n.cfg.Ledger
+	pkt, frame := s.pkt, s.frame
+	lcOn := n.lc.enabled
+	if s.err != nil {
 		q.Stats.RxBadFrames++
 		if pkt == nil || n.cfg.DropRxChecksumErrors {
 			// Unparseable, or the device is configured to discard checksum
@@ -411,7 +674,7 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 		n.cacheTouch(q, cacheKey{flow: pkt.Flow, rx: true})
 		for _, e := range engines {
 			flags |= e.Process(pkt.Seq, pkt.Payload, false)
-			q.harvestRx(e)
+			q.noteTouched(e)
 		}
 	}
 	if lcOn {

@@ -26,10 +26,17 @@ type Workload struct {
 	MsgSize     int
 	RecordSize  int
 	Window      time.Duration
+	// Queues is the RSS queue count on both NICs. Traffic is invariant
+	// under it (the arrival-order batch completion guarantees that); it
+	// shapes how the batched poll loop spreads work.
+	Queues int
+	// RxPollDelay is the NICs' interrupt-coalescing window (rx-usecs).
+	RxPollDelay time.Duration
 }
 
 // DefaultWorkload is the committed-baseline scenario: a 100 Gbps link,
-// four streams of 16 KiB TLS records, measured for 2 ms of virtual time.
+// four streams of 16 KiB TLS records across four RSS queues, measured
+// for 2 ms of virtual time.
 func DefaultWorkload() Workload {
 	return Workload{
 		LinkGbps:    100,
@@ -38,6 +45,8 @@ func DefaultWorkload() Workload {
 		MsgSize:     256 << 10,
 		RecordSize:  16 << 10,
 		Window:      2 * time.Millisecond,
+		Queues:      4,
+		RxPollDelay: 2 * time.Microsecond,
 	}
 }
 
@@ -57,6 +66,11 @@ type Arm struct {
 	// GbpsPerCore is the modeled single-core receiver throughput — the
 	// paper's headline metric for the arm.
 	GbpsPerCore float64
+	// RxFramesPerPoll and TxPktsPerDoorbell are the mean batch sizes of
+	// the polled hot path, aggregated over both machines. Deterministic:
+	// they come from virtual-clock event counts only.
+	RxFramesPerPoll   float64
+	TxPktsPerDoorbell float64
 }
 
 // Report is the full deterministic measurement.
@@ -114,10 +128,10 @@ func runArm(wl Workload, mode experiments.IperfMode) Arm {
 	w := experiments.NewPairWorld(netsim.LinkConfig{
 		Gbps:    wl.LinkGbps,
 		Latency: wl.LinkLatency,
-	}, nic.Config{})
+	}, nic.Config{Queues: wl.Queues, RxPollDelay: wl.RxPollDelay})
 	res := experiments.RunIperf(w, mode, wl.Streams, wl.MsgSize, wl.RecordSize, wl.Window)
 	gen, srv := w.Gen.NIC.Stats(), w.Srv.NIC.Stats()
-	return Arm{
+	a := Arm{
 		Mode:        mode.String(),
 		Packets:     gen.TxPackets + gen.RxPackets + srv.TxPackets + srv.RxPackets,
 		Bytes:       res.Bytes,
@@ -125,6 +139,13 @@ func runArm(wl Workload, mode experiments.IperfMode) Arm {
 		SimElapsed:  res.Elapsed,
 		GbpsPerCore: w.Model.SingleCoreGbps(res.Rcv, res.Bytes),
 	}
+	if polls := gen.RxPolls + srv.RxPolls; polls > 0 {
+		a.RxFramesPerPoll = float64(gen.RxPolledFrames+srv.RxPolledFrames) / float64(polls)
+	}
+	if bells := gen.TxDoorbells + srv.TxDoorbells; bells > 0 {
+		a.TxPktsPerDoorbell = float64(gen.TxDoorbellPackets+srv.TxDoorbellPackets) / float64(bells)
+	}
+	return a
 }
 
 // Gbps converts an arm's payload over its virtual window.

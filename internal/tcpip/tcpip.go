@@ -33,9 +33,12 @@ const WindowShift = 10
 // NetDevice is the stack's output: the simulated NIC (or a loopback in
 // tests). The device owns frame serialization and transmit-side offloads.
 type NetDevice interface {
-	// Transmit sends one TCP packet toward the peer. The packet's payload
-	// is owned by the device from this point on (the stack passes a copy,
-	// because offload engines transform payload in place).
+	// Transmit sends one TCP packet toward the peer. The payload aliases
+	// the socket's send buffer and is valid only for the duration of the
+	// call: the device must serialize (copy) it into its own frame memory
+	// before returning — acknowledgments arriving later shift the buffer
+	// under the slice. Offload engines transform the device's copy, never
+	// the payload slice itself.
 	Transmit(pkt *wire.Packet)
 }
 
@@ -461,6 +464,7 @@ type Socket struct {
 	sndUna     uint32 // oldest unacknowledged sequence
 	sndNxt     uint32 // next sequence to send
 	sndBuf     []byte // bytes [sndUna+synAdj, ...) not yet acknowledged
+	sndStore   []byte // sndBuf's largest backing array, for compaction
 	sndBufCap  int
 	finQueued  bool
 	finSeq     uint32
@@ -623,7 +627,7 @@ func (s *Socket) WriteZC(p []byte) int {
 		n = space
 	}
 	if n > 0 {
-		s.sndBuf = append(s.sndBuf, p[:n]...)
+		s.sndAppend(p[:n])
 		s.trySend()
 	}
 	// Arm the drain notification when the writer is likely waiting: either
@@ -633,6 +637,24 @@ func (s *Socket) WriteZC(p []byte) int {
 		s.drainNote = true
 	}
 	return n
+}
+
+// sndAppend appends to the send buffer, compacting into a reused store
+// instead of letting append reallocate: acks trim sndBuf from the front,
+// so the slice marches off the end of its array while most of the array
+// sits unused behind it — a plain append would reallocate and copy the
+// whole outstanding window, over and over, for the connection's lifetime.
+// The store keeps 2x headroom over the fill level; anything less drains
+// only the slack between compactions and turns the shuffle quadratic.
+func (s *Socket) sndAppend(p []byte) {
+	if cap(s.sndBuf)-len(s.sndBuf) < len(p) {
+		need := len(s.sndBuf) + len(p)
+		if cap(s.sndStore) < 2*need {
+			s.sndStore = make([]byte, 0, 2*need)
+		}
+		s.sndBuf = append(s.sndStore[:0], s.sndBuf...)
+	}
+	s.sndBuf = append(s.sndBuf, p...)
 }
 
 // WriteSpace returns how many bytes Write would currently accept.
@@ -875,11 +897,12 @@ func (s *Socket) trySend() {
 }
 
 // transmitRange sends len bytes starting at seq out of the send buffer.
-// The payload is copied because the NIC transforms it in place.
+// The payload slice aliases the send buffer; per the NetDevice contract
+// the device copies it into frame memory during Transmit, so the hot path
+// performs exactly one payload copy (host memory → NIC frame, the DMA).
 func (s *Socket) transmitRange(seq uint32, n int, isRetransmit bool) {
 	off := int(seq - s.sndUna)
-	payload := make([]byte, n)
-	copy(payload, s.sndBuf[off:off+n])
+	payload := s.sndBuf[off : off+n : off+n]
 	pkt := &wire.Packet{
 		Flow:    s.flow,
 		Seq:     seq,
@@ -1526,7 +1549,20 @@ func (s *Socket) teardown() {
 	}
 }
 
+// deliver appends in-order payload to the receive queue. data aliases the
+// arriving frame (which the NIC recycles into the frame pool as soon as
+// Input returns), so the bytes are copied here — this is the stack's DMA
+// into socket buffer memory, and the one copy the receive path performs.
 func (s *Socket) deliver(seq uint32, data []byte, flags meta.RxFlags) {
+	if len(data) == 0 {
+		return
+	}
+	s.deliverOwned(seq, append([]byte(nil), data...), flags)
+}
+
+// deliverOwned is deliver for bytes the socket already owns (drained
+// out-of-order segments, which insertOOO copied on arrival).
+func (s *Socket) deliverOwned(seq uint32, data []byte, flags meta.RxFlags) {
 	if len(data) == 0 {
 		return
 	}
@@ -1567,7 +1603,7 @@ func (s *Socket) drainOOO() {
 		if int(skip) >= len(seg.data) {
 			continue
 		}
-		s.deliver(s.rcvNxt, seg.data[skip:], seg.flags)
+		s.deliverOwned(s.rcvNxt, seg.data[skip:], seg.flags)
 	}
 	if s.finRcvdSeq != 0 && s.rcvNxt == s.finRcvdSeq {
 		s.handleFin(s.finRcvdSeq)

@@ -221,13 +221,34 @@ func (p *Packet) String() string {
 // Marshal serializes the packet into an Ethernet/IPv4/TCP frame with valid
 // IP and TCP checksums.
 func (p *Packet) Marshal() Frame {
+	buf := make(Frame, p.WireLen())
+	copy(buf[FrameOverhead+p.optLen():], p.Payload)
+	p.MarshalHeaders(buf)
+	return buf
+}
+
+// PayloadOffset returns where this packet's payload starts inside its
+// marshalled frame. Pooled transmit paths copy the payload there first,
+// let offload engines transform it in place, and then call MarshalHeaders.
+func (p *Packet) PayloadOffset() int { return FrameOverhead + p.optLen() }
+
+// MarshalHeaders serializes the packet's Ethernet/IPv4/TCP headers and
+// options into buf (which must be exactly WireLen() bytes) and computes
+// both checksums over the payload bytes already present at
+// buf[PayloadOffset():]. Unlike Marshal it does not touch the payload
+// region, so callers owning a reused (pooled) frame copy the payload in
+// first. Every header byte — including the reserved/unused IPv4 id,
+// fragment, and TCP urgent fields — is written explicitly, so a recycled
+// buffer yields the same bytes a fresh one would.
+func (p *Packet) MarshalHeaders(buf Frame) {
 	optLen := p.optLen()
 	tcpHdrLen := TCPHeaderLen + optLen
-	buf := make(Frame, FrameOverhead+optLen+len(p.Payload))
+	if len(buf) != FrameOverhead+optLen+len(p.Payload) {
+		panic("wire: MarshalHeaders buffer has wrong length")
+	}
 	eth := buf[:EthernetHeaderLen]
 	ip := buf[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
 	tcp := buf[EthernetHeaderLen+IPv4HeaderLen : FrameOverhead+optLen]
-	copy(buf[FrameOverhead+optLen:], p.Payload)
 
 	// Ethernet: synthetic MACs derived from the IPs; type IPv4.
 	copy(eth[0:6], macFor(p.Flow.Dst.IP))
@@ -239,8 +260,10 @@ func (p *Packet) Marshal() Frame {
 	ip[1] = p.ECN & 0b11 // ToS: DSCP 0, ECN codepoint
 	totalLen := IPv4HeaderLen + tcpHdrLen + len(p.Payload)
 	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
-	ip[8] = 64 // TTL
+	binary.BigEndian.PutUint32(ip[4:8], 0) // id, flags, fragment offset
+	ip[8] = 64                             // TTL
 	ip[9] = ProtoTCP
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum field zeroed first
 	copy(ip[12:16], p.Flow.Src.IP[:])
 	copy(ip[16:20], p.Flow.Dst.IP[:])
 	binary.BigEndian.PutUint16(ip[10:12], internetChecksum(ip, 0))
@@ -253,11 +276,11 @@ func (p *Packet) Marshal() Frame {
 	tcp[12] = byte(tcpHdrLen/4) << 4 // data offset in words
 	tcp[13] = byte(p.Flags)
 	binary.BigEndian.PutUint16(tcp[14:16], p.Window)
+	binary.BigEndian.PutUint16(tcp[16:18], 0) // checksum field zeroed first
+	binary.BigEndian.PutUint16(tcp[18:20], 0) // urgent pointer, unused
 	p.putOptions(tcp[TCPHeaderLen:tcpHdrLen])
 	sum := tcpChecksum(p.Flow, tcp, buf[FrameOverhead+optLen:])
 	binary.BigEndian.PutUint16(tcp[16:18], sum)
-
-	return buf
 }
 
 // putOptions encodes the TCP options into opt (exactly optLen() bytes),
@@ -447,20 +470,46 @@ func macFor(ip [4]byte) []byte {
 	return []byte{0x02, 0x00, ip[0], ip[1], ip[2], ip[3]}
 }
 
-// internetChecksum computes the RFC 1071 ones-complement sum of data,
-// starting from the given partial sum.
-func internetChecksum(data []byte, sum uint32) uint16 {
-	for len(data) >= 2 {
-		sum += uint32(data[0])<<8 | uint32(data[1])
+// sumWords adds data to a running ones-complement accumulator as a stream
+// of big-endian 16-bit words, eight bytes per loop iteration. RFC 1071's
+// sum is associative and grouping-independent, so accumulating 32-bit
+// big-endian words into a 64-bit register and folding at the end yields
+// the byte-pair sum exactly — this is the simulator's hottest pure
+// function (it runs over every payload byte twice, marshal and parse),
+// and the chunked form is ~4× the byte-at-a-time loop.
+func sumWords(data []byte, sum uint64) uint64 {
+	for len(data) >= 8 {
+		sum += uint64(binary.BigEndian.Uint32(data)) +
+			uint64(binary.BigEndian.Uint32(data[4:]))
+		data = data[8:]
+	}
+	if len(data) >= 4 {
+		sum += uint64(binary.BigEndian.Uint32(data))
+		data = data[4:]
+	}
+	if len(data) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(data))
 		data = data[2:]
 	}
 	if len(data) == 1 {
-		sum += uint32(data[0]) << 8
+		sum += uint64(data[0]) << 8
 	}
+	return sum
+}
+
+// foldSum reduces a 64-bit ones-complement accumulator to the final
+// 16-bit inverted checksum.
+func foldSum(sum uint64) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xffff) + sum>>16
 	}
 	return ^uint16(sum)
+}
+
+// internetChecksum computes the RFC 1071 ones-complement sum of data,
+// starting from the given partial sum.
+func internetChecksum(data []byte, sum uint32) uint16 {
+	return foldSum(sumWords(data, uint64(sum)))
 }
 
 // tcpChecksum computes the TCP checksum over the pseudo-header, the TCP
@@ -474,23 +523,42 @@ func tcpChecksum(flow FlowID, seg, extra []byte) uint16 {
 	pseudo[9] = ProtoTCP
 	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)+len(extra)))
 
-	var sum uint32
-	add := func(data []byte) {
-		for len(data) >= 2 {
-			sum += uint32(data[0])<<8 | uint32(data[1])
-			data = data[2:]
-		}
-		if len(data) == 1 {
-			sum += uint32(data[0]) << 8
-		}
-	}
-	add(pseudo[:])
+	sum := sumWords(pseudo[:], 0)
 	// Odd-length seg followed by extra must be summed as one byte stream;
 	// in practice seg is always the fixed-size header (even) here.
-	add(seg)
-	add(extra)
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + sum>>16
+	sum = sumWords(seg, sum)
+	sum = sumWords(extra, sum)
+	return foldSum(sum)
+}
+
+// PeekFlow extracts the TCP 4-tuple from a frame without validating
+// checksums or options — the way receive hardware computes the RSS hash
+// from the headers before any other verdict. It reports ok=false for
+// frames too short or not TCP/IPv4-shaped; damaged-but-parseable headers
+// yield whatever flow their (possibly corrupt) bytes spell, exactly like
+// a real RSS engine hashing a bad frame.
+func PeekFlow(buf Frame) (flow FlowID, ok bool) {
+	if len(buf) < FrameOverhead {
+		return flow, false
 	}
-	return ^uint16(sum)
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeIPv4 {
+		return flow, false
+	}
+	ip := buf[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return flow, false
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl+TCPHeaderLen {
+		return flow, false
+	}
+	if ip[9] != ProtoTCP {
+		return flow, false
+	}
+	tcp := ip[ihl:]
+	copy(flow.Src.IP[:], ip[12:16])
+	copy(flow.Dst.IP[:], ip[16:20])
+	flow.Src.Port = binary.BigEndian.Uint16(tcp[0:2])
+	flow.Dst.Port = binary.BigEndian.Uint16(tcp[2:4])
+	return flow, true
 }
