@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check alloc-check soak determinism fuzz-short golden-check bench perf perf-check fmt fmt-check lint experiments
+.PHONY: all build test vet race check alloc-check soak determinism fuzz-short golden-check bench perf perf-check fmt fmt-check lint lint-json lint-baseline experiments
 
 all: build
 
@@ -22,11 +22,24 @@ race:
 check: vet lint fmt-check race soak determinism alloc-check fuzz-short golden-check perf-check
 
 # The invariant linter: the analyzers in internal/analysis (virtclock,
-# nilhook, statsreg, wiremut, seriesname) enforce the DESIGN.md contracts
-# mechanically.
-# See DESIGN.md "Invariants as analyzers".
+# nilhook, statsreg, wiremut, seriesname, framepool, shardsafe, hotalloc)
+# enforce the DESIGN.md contracts mechanically. The committed
+# lint.baseline freezes accepted pre-existing findings, so `make check`
+# fails on any unsuppressed NEW diagnostic while a new analyzer can land
+# strict on new code. See DESIGN.md "Invariants as analyzers".
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -baseline lint.baseline ./...
+
+# The same run as a machine-readable report (simlint.json), uploaded as a
+# CI artifact for annotation tooling.
+lint-json:
+	$(GO) run ./cmd/simlint -baseline lint.baseline -json ./... > simlint.json
+
+# Refreeze the baseline: run after intentionally accepting findings (or
+# clearing old ones), then commit the lint.baseline diff. Suppressed
+# (//lint:ignore'd) findings never enter the baseline.
+lint-baseline:
+	$(GO) run ./cmd/simlint -baseline lint.baseline -update-baseline ./...
 
 # The randomized offload-equivalence soak: 20 seeded loss+reorder+ECN+MTU-flap
 # schedules, offloaded vs software plaintext compared byte for byte, under the

@@ -14,9 +14,18 @@
 // registered (statsreg); the ECN path assumes serialized frames are
 // only mutated through checksum-repairing helpers (wiremut); and the
 // sampler's exports and the golden metrics fixtures assume canonical
-// dotted-lowercase series names (seriesname). A violation
-// fails `make lint` (inside `make check`) at source level instead of
-// flaking a soak after the fact.
+// dotted-lowercase series names (seriesname); the sharded hot path's
+// byte-identical determinism at any GOMAXPROCS assumes ShardRun jobs
+// touch only lane-local state (shardsafe) and the hand-tuned batch loop
+// assumes its per-packet paths stay allocation-free (hotalloc). A
+// violation fails `make lint` (inside `make check`) at source level
+// instead of flaking a soak after the fact.
+//
+// The package also carries the driver that cmd/simlint fronts: reasoned
+// `//lint:ignore` suppression (driver.go), a committed baseline for
+// landing new analyzers strict-on-new-code (baseline.go), and a JSON
+// report for CI annotation (jsonout.go). Per-package passes run in
+// parallel; diagnostics stay position-sorted and deduplicated.
 package analysis
 
 import (
@@ -24,7 +33,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Analyzer is one named check. Run executes per package; RunProgram, when
@@ -87,40 +98,80 @@ func (p *Program) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run executes the analyzers over the program and returns their
-// diagnostics sorted by position then analyzer name, deterministically.
+// diagnostics sorted by position then analyzer name, deduplicated and
+// deterministic. Per-package passes run in parallel (one worker per
+// core, each package through every per-package analyzer), so `make lint`
+// does not slow down linearly as the suite grows; whole-program passes
+// run serially afterwards. Identical diagnostics — the same position,
+// analyzer, and message, as happens when overlapping patterns hand the
+// same package to the loader twice — collapse to one.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	perPkg := make([]*Analyzer, 0, len(analyzers))
 	for _, a := range analyzers {
-		a := a
-		collect := func(d Diagnostic) {
-			d.Analyzer = a.Name
-			diags = append(diags, d)
-		}
 		if a.Run != nil {
-			for _, pkg := range prog.Packages {
+			perPkg = append(perPkg, a)
+		}
+	}
+	results := make([][]Diagnostic, len(prog.Packages))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for pi, pkg := range prog.Packages {
+		wg.Add(1)
+		go func(pi int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Diagnostic
+			for _, a := range perPkg {
 				pass := &Pass{
 					Analyzer:  a,
 					Fset:      prog.Fset,
 					Files:     pkg.Files,
 					Pkg:       pkg.Pkg,
 					TypesInfo: pkg.TypesInfo,
-					report:    collect,
+				}
+				pass.report = func(d Diagnostic) {
+					d.Analyzer = pass.Analyzer.Name
+					local = append(local, d)
 				}
 				if err := a.Run(pass); err != nil {
-					collect(Diagnostic{Pos: token.NoPos,
+					local = append(local, Diagnostic{Pos: token.NoPos, Analyzer: a.Name,
 						Message: fmt.Sprintf("internal error: %v", err)})
 				}
 			}
-		}
-		if a.RunProgram != nil {
-			prog.report = collect
-			if err := a.RunProgram(prog); err != nil {
-				collect(Diagnostic{Pos: token.NoPos,
-					Message: fmt.Sprintf("internal error: %v", err)})
-			}
-			prog.report = nil
-		}
+			results[pi] = local
+		}(pi, pkg)
 	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, local := range results {
+		diags = append(diags, local...)
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a := a
+		collect := func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		prog.report = collect
+		if err := a.RunProgram(prog); err != nil {
+			collect(Diagnostic{Pos: token.NoPos,
+				Message: fmt.Sprintf("internal error: %v", err)})
+		}
+		prog.report = nil
+	}
+	SortDiagnostics(prog, diags)
+	return dedupeDiagnostics(diags)
+}
+
+// SortDiagnostics orders diags by position, then analyzer, then message
+// — the full key, so concurrent collection and driver-side merging (the
+// directive diagnostics folded back in by cmd/simlint) stay
+// deterministic.
+func SortDiagnostics(prog *Program, diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -132,10 +183,27 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags
+}
+
+// dedupeDiagnostics collapses adjacent identical diagnostics in a sorted
+// slice: a package reached through multiple program roots must not
+// double-report.
+func dedupeDiagnostics(diags []Diagnostic) []Diagnostic {
+	w := 0
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		diags[w] = d
+		w++
+	}
+	return diags[:w]
 }
 
 // All lists every simlint analyzer, in reporting order.
-var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut, SeriesName, FramePool}
+var All = []*Analyzer{VirtClock, NilHook, StatsReg, WireMut, SeriesName, FramePool, ShardSafe, HotAlloc}

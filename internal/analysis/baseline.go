@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The committed-baseline half of the driver: a baseline file freezes the
+// currently-accepted diagnostics so a new analyzer can land strict on new
+// code without first fixing (or annotating) the whole existing surface.
+// Entries match on (analyzer, file, message) — deliberately not on line
+// numbers, so unrelated edits above a baselined finding do not resurrect
+// it — and matching is multiset-wise: three baselined appends in one file
+// excuse exactly three, and a fourth is a fresh finding. `make lint`
+// reads the committed lint.baseline; `make lint-baseline` regenerates it.
+
+// BaselineEntry identifies one accepted diagnostic.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the decoded baseline file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and decodes a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("decoding baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// Apply partitions diags into the fresh (not excused by the baseline)
+// and the baselined.
+func (b *Baseline) Apply(prog *Program, diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[e]++
+	}
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     RelPath(prog.Fset.Position(d.Pos).Filename),
+			Message:  d.Message,
+		}
+		if budget[e] > 0 {
+			budget[e]--
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
+}
+
+// WriteBaseline freezes diags into the baseline file at path, sorted for
+// stable diffs.
+func WriteBaseline(path string, prog *Program, diags []Diagnostic) error {
+	b := Baseline{Entries: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     RelPath(prog.Fset.Position(d.Pos).Filename),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		ei, ej := b.Entries[i], b.Entries[j]
+		if ei.File != ej.File {
+			return ei.File < ej.File
+		}
+		if ei.Analyzer != ej.Analyzer {
+			return ei.Analyzer < ej.Analyzer
+		}
+		return ei.Message < ej.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RelPath renders a diagnostic's file path relative to the working
+// directory (slash-separated), so baselines and JSON reports are stable
+// across checkouts; paths outside the tree stay absolute.
+func RelPath(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(name)
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The driver half of simlint: `//lint:ignore` suppression directives,
+// applied between Run and reporting. A directive has the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and suppresses matching diagnostics on its own line (trailing comment)
+// or on the line directly below it (preceding comment). The reason is
+// mandatory — a suppression is an argument, not a mute button — and the
+// analyzer names must exist, so a typo cannot silently disable a check.
+// Malformed directives are returned as diagnostics under the "directive"
+// analyzer name and fail the run like any other finding (they are not
+// themselves suppressible). Suppressed diagnostics stay counted: the
+// driver's summary and JSON report carry them, so `make lint` output
+// always shows how much of the repo lives on an annotation.
+
+// DirectiveAnalyzer is the analyzer name malformed-directive diagnostics
+// report under.
+const DirectiveAnalyzer = "directive"
+
+// Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+}
+
+// Suppressed is a diagnostic a directive silenced, with its reason.
+type Suppressed struct {
+	Diagnostic
+	Reason string
+}
+
+// ParseDirectives scans every comment of the program for //lint:ignore
+// directives. It returns the well-formed directives plus diagnostics for
+// the malformed ones: a missing reason or an unknown analyzer name is a
+// finding, because either would let violations vanish unargued.
+func ParseDirectives(prog *Program, known []*Analyzer) ([]Directive, []Diagnostic) {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	var dirs []Directive
+	var bad []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok { // /* ... */ comments are not directives
+						continue
+					}
+					text, ok = strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+					if !ok {
+						continue
+					}
+					rest := strings.TrimSpace(text)
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+							Message: "//lint:ignore needs an analyzer and a reason: //lint:ignore <analyzer> <why this violation is sanctioned>"})
+						continue
+					}
+					analyzers := strings.Split(fields[0], ",")
+					reason := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+					if reason == "" {
+						bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+							Message: "//lint:ignore needs a reason: //lint:ignore <analyzer> <why this violation is sanctioned>"})
+						continue
+					}
+					unknown := false
+					for _, an := range analyzers {
+						if !names[an] {
+							bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: DirectiveAnalyzer,
+								Message: "//lint:ignore names unknown analyzer " + strconv.Quote(an) + ": a typo here would silently suppress nothing"})
+							unknown = true
+						}
+					}
+					if unknown {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					dirs = append(dirs, Directive{
+						Pos:       c.Pos(),
+						File:      pos.Filename,
+						Line:      pos.Line,
+						Analyzers: analyzers,
+						Reason:    reason,
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// ApplySuppressions partitions diags into the kept and the suppressed: a
+// diagnostic is suppressed by a directive for its analyzer on the same
+// line or the line directly above.
+func ApplySuppressions(prog *Program, diags []Diagnostic, dirs []Directive) (kept []Diagnostic, suppressed []Suppressed) {
+	type lineKey struct {
+		file string
+		line int
+	}
+	index := make(map[lineKey][]*Directive)
+	for i := range dirs {
+		d := &dirs[i]
+		index[lineKey{d.File, d.Line}] = append(index[lineKey{d.File, d.Line}], d)
+	}
+	match := func(file string, line int, analyzer string) *Directive {
+		for _, at := range []int{line, line - 1} {
+			for _, d := range index[lineKey{file, at}] {
+				for _, an := range d.Analyzers {
+					if an == analyzer {
+						return d
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if dir := match(pos.Filename, pos.Line, d.Analyzer); dir != nil {
+			suppressed = append(suppressed, Suppressed{Diagnostic: d, Reason: dir.Reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the JSON report golden file")
+
+// loadFixture type-checks the named fixture packages as one program.
+func loadFixture(t *testing.T, paths ...string) *Program {
+	t.Helper()
+	loader, err := newFixtureLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	prog := &Program{Fset: loader.fset}
+	for _, path := range paths {
+		pkg, err := loader.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog
+}
+
+// TestDirectives covers the suppression surface end to end over the
+// driver fixture: trailing and preceding placement suppress, a directive
+// without a reason or naming an unknown analyzer is itself a finding and
+// suppresses nothing.
+func TestDirectives(t *testing.T) {
+	prog := loadFixture(t, "driver/a")
+	diags := Run(prog, All)
+	if len(diags) != 5 {
+		t.Fatalf("got %d raw diagnostics, want 5 (4 time.Now + 1 time.Sleep):\n%s",
+			len(diags), dumpDiags(prog, diags))
+	}
+
+	dirs, malformed := ParseDirectives(prog, All)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d well-formed directives, want 2: %+v", len(dirs), dirs)
+	}
+	for _, d := range dirs {
+		if d.Reason == "" {
+			t.Errorf("directive at %s:%d parsed with empty reason", d.File, d.Line)
+		}
+		if len(d.Analyzers) != 1 || d.Analyzers[0] != "virtclock" {
+			t.Errorf("directive at %s:%d names %v, want [virtclock]", d.File, d.Line, d.Analyzers)
+		}
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2:\n%s",
+			len(malformed), dumpDiags(prog, malformed))
+	}
+	var sawMissingReason, sawUnknown bool
+	for _, d := range malformed {
+		if d.Analyzer != DirectiveAnalyzer {
+			t.Errorf("malformed directive reported under %q, want %q", d.Analyzer, DirectiveAnalyzer)
+		}
+		if strings.Contains(d.Message, "needs a reason") {
+			sawMissingReason = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "virtclocks"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawMissingReason {
+		t.Error("missing-reason directive did not produce a finding")
+	}
+	if !sawUnknown {
+		t.Error("unknown-analyzer directive did not produce a finding")
+	}
+
+	kept, suppressed := ApplySuppressions(prog, diags, dirs)
+	if len(suppressed) != 2 {
+		t.Fatalf("got %d suppressed, want 2 (trailing + preceding)", len(suppressed))
+	}
+	for _, s := range suppressed {
+		if s.Reason == "" {
+			t.Errorf("suppressed diagnostic lost its reason: %+v", s.Diagnostic)
+		}
+	}
+	// The reasonless and typoed directives must not have silenced their
+	// lines: 3 virtclock findings survive.
+	if len(kept) != 3 {
+		t.Fatalf("got %d kept, want 3:\n%s", len(kept), dumpDiags(prog, kept))
+	}
+}
+
+// TestBaselineRoundTrip freezes a run's findings, reloads them, and
+// checks multiset budget matching: a full baseline excuses everything,
+// and removing one entry resurrects exactly one finding even when four
+// findings share a message.
+func TestBaselineRoundTrip(t *testing.T) {
+	prog := loadFixture(t, "driver/a")
+	diags := Run(prog, []*Analyzer{VirtClock})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics to baseline")
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := WriteBaseline(path, prog, diags); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("reloading baseline: %v", err)
+	}
+	if len(b.Entries) != len(diags) {
+		t.Fatalf("round-trip lost entries: wrote %d, read %d", len(diags), len(b.Entries))
+	}
+	fresh, baselined := b.Apply(prog, diags)
+	if len(fresh) != 0 || len(baselined) != len(diags) {
+		t.Fatalf("full baseline: got %d fresh / %d baselined, want 0 / %d:\n%s",
+			len(fresh), len(baselined), len(diags), dumpDiags(prog, fresh))
+	}
+	// Four findings share the time.Now message; a baseline holding three
+	// of them excuses exactly three.
+	short := &Baseline{Entries: b.Entries[1:]}
+	fresh, baselined = short.Apply(prog, diags)
+	if len(fresh) != 1 || len(baselined) != len(diags)-1 {
+		t.Fatalf("shortened baseline: got %d fresh / %d baselined, want 1 / %d",
+			len(fresh), len(baselined), len(diags)-1)
+	}
+}
+
+// TestJSONReportGolden pins the -json schema: CI annotation tooling
+// parses this shape, so a field rename must be a conscious change (rerun
+// with -update).
+func TestJSONReportGolden(t *testing.T) {
+	prog := loadFixture(t, "driver/a")
+	diags := Run(prog, All)
+	dirs, malformed := ParseDirectives(prog, All)
+	kept, suppressed := ApplySuppressions(prog, diags, dirs)
+	kept = append(kept, malformed...)
+	SortDiagnostics(prog, kept)
+	// Baseline one of the surviving time.Now findings so every report
+	// section is exercised, including "baselined".
+	b := &Baseline{Entries: []BaselineEntry{{
+		Analyzer: "virtclock",
+		File:     "testdata/src/driver/a/a.go",
+		Message:  "time.Now reads the wall clock; simulator code must take time from the netsim virtual clock",
+	}}}
+	kept, baselined := b.Apply(prog, kept)
+	if len(baselined) != 1 {
+		t.Fatalf("got %d baselined, want 1", len(baselined))
+	}
+
+	var buf bytes.Buffer
+	if err := BuildReport(prog, kept, suppressed, baselined).Encode(&buf); err != nil {
+		t.Fatalf("encoding report: %v", err)
+	}
+	golden := filepath.Join("testdata", "driver_report.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("rewriting golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.String(), want)
+	}
+}
+
+// TestDedupeAcrossRoots hands Run the same package twice, as happens when
+// overlapping patterns reach one package via two program roots: the
+// diagnostics must not double.
+func TestDedupeAcrossRoots(t *testing.T) {
+	prog := loadFixture(t, "driver/a")
+	single := Run(prog, []*Analyzer{VirtClock})
+	doubled := &Program{Fset: prog.Fset, Packages: append(prog.Packages, prog.Packages[0])}
+	deduped := Run(doubled, []*Analyzer{VirtClock})
+	if len(deduped) != len(single) {
+		t.Fatalf("package via two roots: got %d diagnostics, want %d", len(deduped), len(single))
+	}
+}
+
+// TestExcludedByBuildTags pins the loader's tolerance rule: only the
+// constraints-excluded shape is skipped, real listing errors still fail.
+func TestExcludedByBuildTags(t *testing.T) {
+	excluded := &listedPkg{
+		ImportPath: "repro/internal/gated",
+		Error:      &struct{ Err string }{Err: "build constraints exclude all Go files in /x/gated"},
+	}
+	if !excludedByBuildTags(excluded) {
+		t.Error("constraints-excluded package not skipped")
+	}
+	broken := &listedPkg{
+		ImportPath: "repro/internal/broken",
+		GoFiles:    []string{"broken.go"},
+		Error:      &struct{ Err string }{Err: "found packages a and b"},
+	}
+	if excludedByBuildTags(broken) {
+		t.Error("genuinely broken package wrongly skipped")
+	}
+	partial := &listedPkg{
+		ImportPath: "repro/internal/partial",
+		GoFiles:    []string{"ok.go"},
+		Error:      &struct{ Err string }{Err: "build constraints exclude all Go files in /x/partial"},
+	}
+	if excludedByBuildTags(partial) {
+		t.Error("package with buildable files wrongly skipped")
+	}
+}
+
+func dumpDiags(prog *Program, diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(prog.Fset.Position(d.Pos).String())
+		b.WriteString(": ")
+		b.WriteString(d.Message)
+		b.WriteString(" [")
+		b.WriteString(d.Analyzer)
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

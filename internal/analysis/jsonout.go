@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The machine-readable half of the driver: `simlint -json` renders one
+// Report per run, consumed by CI for annotation (the workflow uploads it
+// as an artifact) and by the schema golden test that keeps the format
+// stable for downstream tooling.
+
+// ReportDiag is one diagnostic in the JSON report.
+type ReportDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Reason carries the //lint:ignore justification on suppressed entries.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ReportCounts summarizes a run.
+type ReportCounts struct {
+	Diagnostics int `json:"diagnostics"`
+	Suppressed  int `json:"suppressed"`
+	Baselined   int `json:"baselined"`
+}
+
+// Report is the `simlint -json` output: the unsuppressed findings that
+// fail the run, plus the suppressed and baselined ones (counted, never
+// hidden) and the totals.
+type Report struct {
+	Diagnostics []ReportDiag `json:"diagnostics"`
+	Suppressed  []ReportDiag `json:"suppressed"`
+	Baselined   []ReportDiag `json:"baselined"`
+	Counts      ReportCounts `json:"counts"`
+}
+
+// BuildReport assembles the JSON report from a run's partitions.
+func BuildReport(prog *Program, kept []Diagnostic, suppressed []Suppressed, baselined []Diagnostic) *Report {
+	r := &Report{
+		Diagnostics: make([]ReportDiag, 0, len(kept)),
+		Suppressed:  make([]ReportDiag, 0, len(suppressed)),
+		Baselined:   make([]ReportDiag, 0, len(baselined)),
+	}
+	for _, d := range kept {
+		r.Diagnostics = append(r.Diagnostics, reportDiag(prog, d, ""))
+	}
+	for _, s := range suppressed {
+		r.Suppressed = append(r.Suppressed, reportDiag(prog, s.Diagnostic, s.Reason))
+	}
+	for _, d := range baselined {
+		r.Baselined = append(r.Baselined, reportDiag(prog, d, ""))
+	}
+	r.Counts = ReportCounts{
+		Diagnostics: len(r.Diagnostics),
+		Suppressed:  len(r.Suppressed),
+		Baselined:   len(r.Baselined),
+	}
+	return r
+}
+
+func reportDiag(prog *Program, d Diagnostic, reason string) ReportDiag {
+	pos := prog.Fset.Position(d.Pos)
+	return ReportDiag{
+		Analyzer: d.Analyzer,
+		File:     RelPath(pos.Filename),
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  d.Message,
+		Reason:   reason,
+	}
+}
+
+// Encode writes the report as indented JSON with a trailing newline.
+func (r *Report) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -13,7 +13,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -26,6 +29,16 @@ type listedPkg struct {
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
+}
+
+// excludedByBuildTags reports whether p failed to list only because build
+// constraints exclude every file on this platform/config — a package the
+// linter should skip, not a reason to fail the whole run (a GOOS-gated
+// package or an all-`//go:build ignore` tools directory is legitimate
+// repo content).
+func excludedByBuildTags(p *listedPkg) bool {
+	return p.Error != nil && len(p.GoFiles) == 0 &&
+		strings.Contains(p.Error.Err, "build constraints exclude all Go files")
 }
 
 // goList shells out to the go tool, which works fully offline: export
@@ -67,17 +80,28 @@ func Load(patterns ...string) (*Program, error) {
 	}
 	exports := make(map[string]string)
 	var targets []*listedPkg
+	seen := make(map[string]bool)
 	for _, p := range pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly && !p.Standard {
+			if excludedByBuildTags(p) {
+				continue
+			}
 			// `go list -e` reports broken patterns as packages with an
 			// Error instead of failing; surface them, or a typoed pattern
 			// would silently lint nothing and exit clean.
 			if p.Error != nil {
 				return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
 			}
+			// Overlapping patterns ("./...", "./internal/...") list the
+			// same package more than once; parse and check it once, or
+			// every diagnostic in it doubles.
+			if seen[p.ImportPath] {
+				continue
+			}
+			seen[p.ImportPath] = true
 			targets = append(targets, p)
 		}
 	}
@@ -87,16 +111,46 @@ func Load(patterns ...string) (*Program, error) {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
+	// Targets type-check independently — every import, including sibling
+	// targets, resolves through compiled export data — so spread them over
+	// the cores. The importer caches into a shared map and is serialized
+	// by lockedImporter; the FileSet is goroutine-safe by contract.
+	imp := &lockedImporter{imp: exportImporter(fset, exports)}
 	prog := &Program{Fset: fset}
-	for _, t := range targets {
-		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+	prog.Packages = make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t *listedPkg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prog.Packages[i], errs[i] = checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		prog.Packages = append(prog.Packages, pkg)
 	}
 	return prog, nil
+}
+
+// lockedImporter serializes a non-goroutine-safe importer (the gc
+// export-data importer caches packages in a plain map) for the parallel
+// type-check above.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // exportImporter returns an importer that reads compiled gc export data

@@ -1,0 +1,459 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardSafe is the static half of DESIGN.md invariant 13: any per-queue
+// work fanned out under the (*netsim.Simulator).ShardRun barrier must
+// touch only lane-local state — no telemetry, no ledger, no shared maps —
+// with every shared effect applied serially after the barrier. The
+// runtime determinism harness proves the invariant for the paths a
+// seeded run exercises; this analyzer proves the statically checkable
+// surface for every path.
+//
+// For each ShardRun call site it takes the job argument — a func literal
+// or a named function — and walks everything reachable from it through
+// static calls (a call-graph walk over the source the program loader
+// already parsed; interface and function-valued calls are outside the
+// static horizon and are not followed). Along the walk it reports:
+//
+//   - writes to variables the job captured that are also used outside
+//     the job: every lane executes the same closure, so all lanes race
+//     on the same location;
+//   - map writes (assignment, ++/--, delete) reached through captured or
+//     package-level state: Go maps race on concurrent write whatever the
+//     keys are, so even "lane-disjoint" map mutation is unsafe;
+//   - slice-element, field, and pointer writes that chain through shared
+//     device state — types named NIC, Ledger, Simulator, FramePool,
+//     Registry, Tracer, or Histogram (the device, the cycle ledger, the
+//     context cache living inside the NIC, the frame pool, and the
+//     telemetry sinks) — matched by type name, like wiremut, so fixtures
+//     can model the contract;
+//   - calls to methods on telemetry.Registry, telemetry.Tracer, or
+//     telemetry.Histogram: counters, traces, and histograms are shared
+//     sinks and must be recorded in the serial merge phase;
+//   - package-level math/rand draws (anything but the New/NewSource/
+//     NewZipf constructors): lane scheduling would perturb the global
+//     stream and with it every later seeded decision;
+//   - channel sends: cross-lane communication breaks the bulk-synchronous
+//     model (the barrier is the only sanctioned synchronization).
+//
+// Lane-indexed writes into captured slices of plain data (results[i] = v
+// from job i) are the sanctioned result-folding pattern and are not
+// flagged: slice element writes race only when two lanes hit the same
+// index, which is exactly the lane-disjointness the job contract already
+// promises and the shuffled determinism harness stresses.
+var ShardSafe = &Analyzer{
+	Name:       "shardsafe",
+	Doc:        "ShardRun jobs and everything statically reachable from them touch only lane-local state",
+	RunProgram: runShardSafe,
+}
+
+// shardSharedTypes names the types that are shared device state for the
+// purposes of this check, wherever they are defined (name-matched so
+// fixtures can model them): mutating one from inside a job is a shared
+// effect that belongs after the barrier.
+var shardSharedTypes = map[string]bool{
+	"NIC":       true,
+	"Ledger":    true,
+	"Simulator": true,
+	"FramePool": true,
+	"Registry":  true,
+	"Tracer":    true,
+	"Histogram": true,
+}
+
+// funcSource locates a function's parsed source within the program.
+type funcSource struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// shardSafe carries one RunProgram invocation's state.
+type shardSafe struct {
+	prog   *Program
+	bodies map[*types.Func]funcSource
+	seen   map[string]bool // offset|message dedupe across job sites
+}
+
+func runShardSafe(prog *Program) error {
+	s := &shardSafe{
+		prog:   prog,
+		bodies: make(map[*types.Func]funcSource),
+		seen:   make(map[string]bool),
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					s.bodies[fn] = funcSource{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 || !isShardRunCall(pkg, call) {
+					return true
+				}
+				s.checkJob(pkg, file, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isShardRunCall reports whether call invokes the ShardRun method of a
+// type named Simulator in a package named netsim (name-matched, like
+// wiremut and framepool, so fixtures can model the barrier).
+func isShardRunCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ShardRun" {
+		return false
+	}
+	fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "Simulator" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "netsim"
+}
+
+// checkJob analyzes one ShardRun call's job argument.
+func (s *shardSafe) checkJob(pkg *Package, file *ast.File, call *ast.CallExpr) {
+	w := &jobWalker{
+		s:       s,
+		jobDesc: "ShardRun job in " + enclosingFuncName(file, call.Pos()),
+		visited: make(map[*types.Func]bool),
+	}
+	switch job := unparenExpr(call.Args[1]).(type) {
+	case *ast.FuncLit:
+		w.walk(pkg, job.Body, job, capturedVars(pkg, job), nil)
+	default:
+		if fn := staticCallee(pkg, job); fn != nil {
+			if src, ok := s.bodies[fn]; ok {
+				w.visited[fn] = true
+				w.walk(src.pkg, src.decl.Body, nil, nil, []string{fn.Name()})
+				return
+			}
+		}
+		s.report(call.Args[1].Pos(),
+			fmt.Sprintf("%s is a function value shardsafe cannot trace; pass a func literal or a named function defined in this program so lane-locality stays statically checkable",
+				w.jobDesc))
+	}
+}
+
+// report dedupes and records one diagnostic: two job sites reaching the
+// same function report its violations once.
+func (s *shardSafe) report(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.prog.Reportf(pos, "%s", msg)
+}
+
+// jobWalker walks one job and everything statically reachable from it.
+type jobWalker struct {
+	s       *shardSafe
+	jobDesc string
+	visited map[*types.Func]bool
+}
+
+// reportf records one diagnostic, appending the reachability chain when
+// the offense sits in a function the job merely calls.
+func (w *jobWalker) reportf(pos token.Pos, chain []string, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if len(chain) > 0 {
+		msg += fmt.Sprintf(" (reachable via %s)", strings.Join(chain, " -> "))
+	}
+	w.s.report(pos, msg)
+}
+
+// walk inspects body. Inside the job closure itself (lit != nil),
+// captured holds the closure's free variables; in reachable functions
+// (lit == nil) the capture checks degrade to package-level state, and
+// chain names the static call path from the job.
+func (w *jobWalker) walk(pkg *Package, body ast.Node, lit *ast.FuncLit, captured map[*types.Var]bool, chain []string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				w.checkWrite(pkg, lhs, lit, captured, chain)
+			}
+		case *ast.IncDecStmt:
+			w.checkWrite(pkg, st.X, lit, captured, chain)
+		case *ast.SendStmt:
+			w.reportf(st.Arrow, chain,
+				"%s sends on a channel: cross-lane communication breaks the bulk-synchronous barrier model (DESIGN.md invariant 13); the barrier is the only sanctioned synchronization",
+				w.jobDesc)
+		case *ast.CallExpr:
+			w.checkCall(pkg, st, lit, captured, chain)
+		}
+		return true
+	})
+}
+
+// checkCall handles one call expression: builtin delete, telemetry
+// methods, seedless math/rand, and recursion into statically resolvable
+// callees whose source is part of the program.
+func (w *jobWalker) checkCall(pkg *Package, call *ast.CallExpr, lit *ast.FuncLit, captured map[*types.Var]bool, chain []string) {
+	if id, ok := unparenExpr(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "delete" && len(call.Args) == 2 {
+				w.checkMapWrite(pkg, call.Args[0], lit, captured, chain)
+			}
+			return
+		}
+	}
+	fn := staticCallee(pkg, call.Fun)
+	if fn == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "telemetry" {
+			switch named.Obj().Name() {
+			case "Tracer", "Registry", "Histogram":
+				w.reportf(call.Pos(), chain,
+					"%s calls (*telemetry.%s).%s: telemetry is a shared sink and must be recorded in the serial phase after the barrier (DESIGN.md invariant 13)",
+					w.jobDesc, named.Obj().Name(), fn.Name())
+				return
+			}
+		}
+	} else if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[fn.Name()] {
+				w.reportf(call.Pos(), chain,
+					"%s calls rand.%s, which draws from the global math/rand source: lane scheduling would perturb the stream and every later seeded decision; use a per-lane rand.New(rand.NewSource(seed)) or move randomness out of the job",
+					w.jobDesc, fn.Name())
+				return
+			}
+		}
+	}
+	src, ok := w.s.bodies[fn]
+	if !ok || w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	w.walk(src.pkg, src.decl.Body, nil, nil, append(append([]string(nil), chain...), fn.Name()))
+}
+
+// checkWrite classifies one assignment target.
+func (w *jobWalker) checkWrite(pkg *Package, lhs ast.Expr, lit *ast.FuncLit, captured map[*types.Var]bool, chain []string) {
+	lhs = unparenExpr(lhs)
+	switch target := lhs.(type) {
+	case *ast.Ident:
+		if target.Name == "_" {
+			return
+		}
+		v, ok := pkg.TypesInfo.Uses[target].(*types.Var)
+		if !ok {
+			return
+		}
+		if lit != nil {
+			if captured[v] && usedOutside(pkg, v, lit) {
+				w.reportf(target.Pos(), chain,
+					"%s writes captured variable %s, which is also used outside the job: every lane races on the same location (DESIGN.md invariant 13); keep per-lane results in lane-indexed slots and fold them after the barrier",
+					w.jobDesc, target.Name)
+			}
+		} else if isPackageLevel(v) {
+			w.reportf(target.Pos(), chain,
+				"%s writes package-level variable %s: package state is shared across lanes (DESIGN.md invariant 13); apply the write serially after the barrier",
+				w.jobDesc, target.Name)
+		}
+	case *ast.IndexExpr:
+		if tv, ok := pkg.TypesInfo.Types[target.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				w.checkMapWrite(pkg, target.X, lit, captured, chain)
+				return
+			}
+		}
+		w.checkSharedChain(pkg, target, lit, captured, chain)
+	case *ast.SelectorExpr, *ast.StarExpr:
+		w.checkSharedChain(pkg, lhs, lit, captured, chain)
+	}
+}
+
+// checkMapWrite reports a write (assignment, ++/--, delete) on the map
+// expression m when it is reached through captured or package-level
+// state: concurrent map writes race whatever the keys are.
+func (w *jobWalker) checkMapWrite(pkg *Package, m ast.Expr, lit *ast.FuncLit, captured map[*types.Var]bool, chain []string) {
+	root, shared := writeRoot(pkg, m)
+	reached := shared != ""
+	if !reached && root != nil {
+		if lit != nil {
+			reached = captured[root]
+		} else {
+			reached = isPackageLevel(root)
+		}
+	}
+	if !reached {
+		return
+	}
+	w.reportf(m.Pos(), chain,
+		"%s writes map %s reached through shared state: concurrent map writes race across lanes whatever the keys are (DESIGN.md invariant 13); apply map mutations serially after the barrier",
+		w.jobDesc, types.ExprString(m))
+}
+
+// checkSharedChain reports a slice-element, field, or pointer write whose
+// access chain passes through shared device state.
+func (w *jobWalker) checkSharedChain(pkg *Package, lhs ast.Expr, lit *ast.FuncLit, captured map[*types.Var]bool, chain []string) {
+	_, shared := writeRoot(pkg, lhs)
+	if shared == "" {
+		return
+	}
+	w.reportf(lhs.Pos(), chain,
+		"%s mutates shared device state (%s) via %s: jobs touch only lane-local state (DESIGN.md invariant 13); defer shared effects to the serial merge phase",
+		w.jobDesc, shared, types.ExprString(lhs))
+}
+
+// writeRoot walks an assignment target down to its root identifier,
+// noting whether any step's type (pointers dereferenced) is named shared
+// device state.
+func writeRoot(pkg *Package, e ast.Expr) (root *types.Var, shared string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			noteShared(pkg, x.X, &shared)
+			e = x.X
+		case *ast.SelectorExpr:
+			noteShared(pkg, x.X, &shared)
+			e = x.X
+		case *ast.Ident:
+			noteShared(pkg, x, &shared)
+			v, _ := pkg.TypesInfo.Uses[x].(*types.Var)
+			return v, shared
+		default:
+			return nil, shared
+		}
+	}
+}
+
+// noteShared records e's (dereferenced, named) type name when it is
+// shared device state.
+func noteShared(pkg *Package, e ast.Expr, shared *string) {
+	tv, ok := pkg.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if named := namedOf(tv.Type); named != nil && shardSharedTypes[named.Obj().Name()] {
+		*shared = named.Obj().Name()
+	}
+}
+
+// namedOf returns t as a named type, dereferencing one pointer level.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// capturedVars collects the free variables of lit: every variable used
+// inside it whose declaration lies outside it (enclosing locals and
+// package-level variables alike).
+func capturedVars(pkg *Package, lit *ast.FuncLit) map[*types.Var]bool {
+	captured := make(map[*types.Var]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || !v.Pos().IsValid() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured[v] = true
+		}
+		return true
+	})
+	return captured
+}
+
+// usedOutside reports whether v is referenced anywhere outside lit in its
+// defining package. Package-level variables count as used outside by
+// definition (any package may read them).
+func usedOutside(pkg *Package, v *types.Var, lit *ast.FuncLit) bool {
+	if isPackageLevel(v) {
+		return true
+	}
+	for id, obj := range pkg.TypesInfo.Uses {
+		if obj == v && (id.Pos() < lit.Pos() || id.Pos() > lit.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// staticCallee resolves fun to the concrete *types.Func it names, when it
+// is a plain identifier, a qualified identifier, or a method selection on
+// a concrete receiver. Interface methods and function-valued expressions
+// resolve to nothing (or to functions without source) and are skipped by
+// the caller.
+func staticCallee(pkg *Package, fun ast.Expr) *types.Func {
+	switch f := unparenExpr(fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pkg.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// unparenExpr strips parentheses.
+func unparenExpr(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// enclosingFuncName names the function declaration containing pos.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd.Name.Name
+		}
+	}
+	return "package scope"
+}

@@ -1,0 +1,33 @@
+// Package a exercises the simlint driver: //lint:ignore suppression
+// (trailing and preceding placement), mandatory reasons, and unknown
+// analyzer names. The underlying findings come from virtclock.
+package a
+
+import "time"
+
+// suppressedTrailing carries its directive on the offending line.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:ignore virtclock operator-facing stopwatch, outside the simulated world
+}
+
+// suppressedPreceding carries its directive on the line above.
+func suppressedPreceding() {
+	//lint:ignore virtclock coarse host-side pacing, never observed by simulated code
+	time.Sleep(time.Millisecond)
+}
+
+// unsuppressed has no directive: the finding must survive.
+func unsuppressed() time.Time {
+	return time.Now()
+}
+
+// missingReason's directive names an analyzer but argues nothing.
+func missingReason() time.Time {
+	return time.Now() //lint:ignore virtclock
+}
+
+// unknownAnalyzer's directive names a check that does not exist, so it
+// suppresses nothing and is itself a finding.
+func unknownAnalyzer() time.Time {
+	return time.Now() //lint:ignore virtclocks typo in the analyzer name
+}

@@ -1,0 +1,28 @@
+// Package a exercises the hotalloc analyzer: functions marked
+// //simlint:hotpath must not allocate per call; unmarked functions may.
+package a
+
+// S is a plain struct for literal-shape tests.
+type S struct{ x int }
+
+// hot is marked: every allocating form inside it is flagged.
+//
+//simlint:hotpath
+func hot(buf []int, n int) []int {
+	buf = append(buf, n)         // want `append in a //simlint:hotpath function may regrow`
+	m := make([]int, n)          // want `make allocates in a //simlint:hotpath function`
+	p := new(S)                  // want `new allocates in a //simlint:hotpath function`
+	q := &S{x: n}                // want `&composite literal allocates in a //simlint:hotpath function`
+	l := []int{1, 2}             // want `slice literal allocates in a //simlint:hotpath function`
+	mp := map[int]int{n: n}      // want `map literal allocates in a //simlint:hotpath function`
+	f := func() int { return n } // want `func literal in a //simlint:hotpath function allocates a closure`
+	v := S{x: n}                 // value literal assigns in place: fine
+	_, _, _, _, _, _ = m, p, q, l, mp, v
+	return append(buf, f()) // want `append in a //simlint:hotpath function may regrow`
+}
+
+// cold carries no mark: the same forms pass.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, []int{n}...)
+}

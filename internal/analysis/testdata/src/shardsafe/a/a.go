@@ -1,0 +1,72 @@
+// Package a exercises the shardsafe analyzer: jobs handed to
+// (*netsim.Simulator).ShardRun must touch only lane-local state.
+package a
+
+import (
+	"math/rand"
+
+	"shardsafe/netsim"
+	"shardsafe/telemetry"
+)
+
+// NIC models shared device state (matched by type name, like the real
+// one): any mutation reached through it from inside a job is flagged.
+type NIC struct {
+	cache map[string]int
+	ring  []int
+	seq   int
+}
+
+// shared is package-level state: writable only in the serial phase.
+var shared int
+
+// bump is not a job itself; it is reached from one through the static
+// call graph, so its package-level write is a job violation.
+func bump() {
+	shared++ // want `writes package-level variable shared.*reachable via bump`
+}
+
+// violating packs every forbidden shared effect into one job.
+func violating(sim *netsim.Simulator, nic *NIC, tr *telemetry.Tracer, ch chan int) int {
+	total := 0
+	counts := map[int]int{}
+	sim.ShardRun(4, func(i int) {
+		total += i         // want `writes captured variable total`
+		counts[i]++        // want `writes map counts reached through shared state`
+		nic.cache["k"] = i // want `writes map nic\.cache reached through shared state`
+		nic.ring[i] = i    // want `mutates shared device state \(NIC\) via nic\.ring\[i\]`
+		nic.seq = i        // want `mutates shared device state \(NIC\) via nic\.seq`
+		tr.Instant("x")    // want `calls \(\*telemetry\.Tracer\)\.Instant`
+		bump()
+		if rand.Intn(4) == 0 { // want `calls rand\.Intn, which draws from the global math/rand source`
+			ch <- i // want `sends on a channel`
+		}
+	})
+	return total
+}
+
+// namedJob is passed to ShardRun by name: the walk starts at its body.
+func namedJob(i int) {
+	shared = i // want `writes package-level variable shared.*reachable via namedJob`
+}
+
+func runNamed(sim *netsim.Simulator) {
+	sim.ShardRun(2, namedJob)
+}
+
+// dynamic hands ShardRun a function value the analyzer cannot see into.
+func dynamic(sim *netsim.Simulator, job func(int)) {
+	sim.ShardRun(2, job) // want `function value shardsafe cannot trace`
+}
+
+// clean is the sanctioned shape: pure per-lane work, lane-indexed result
+// slots, per-lane seeded randomness, shared state only read.
+func clean(sim *netsim.Simulator, nic *NIC) []int {
+	results := make([]int, 4)
+	sim.ShardRun(4, func(i int) {
+		rng := rand.New(rand.NewSource(int64(i)))
+		v := i*2 + nic.seq + rng.Intn(3)
+		results[i] = v
+	})
+	return results
+}

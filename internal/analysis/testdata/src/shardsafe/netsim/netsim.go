@@ -1,0 +1,21 @@
+// Package netsim models the real netsim package's ShardRun surface: the
+// analyzer matches the method name on a type named Simulator in a package
+// named netsim, so this stub is enough to exercise the contract.
+package netsim
+
+// Simulator mirrors the event-loop simulator.
+type Simulator struct {
+	lanes int
+}
+
+// ShardRun fans job out over n lanes under a deterministic barrier. Jobs
+// must touch only lane-local state; shared effects run serially after.
+func (s *Simulator) ShardRun(n int, job func(lane int)) {
+	for i := 0; i < n; i++ {
+		job(i)
+	}
+}
+
+// At mirrors the scheduler entry point (unrelated to the check; present
+// so call sites look like real code).
+func (s *Simulator) At(when int64, fn func()) { fn() }

@@ -1,0 +1,37 @@
+// Package telemetry models the real telemetry sinks: any method call on
+// Tracer, Registry, or Histogram from inside a ShardRun job is a shared
+// effect that belongs in the serial phase.
+package telemetry
+
+// Tracer mirrors the event recorder.
+type Tracer struct{ n int }
+
+// Instant records one instant event.
+func (t *Tracer) Instant(name string) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// Registry mirrors the metrics registry.
+type Registry struct{ n int }
+
+// Add bumps a counter.
+func (r *Registry) Add(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// Histogram mirrors the fixed-bucket histogram.
+type Histogram struct{ n int64 }
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.n += v
+}

@@ -401,10 +401,13 @@ func (n *NIC) DetachRx(flow wire.FlowID) {
 // payload is copied into pooled frame memory now — the packet's payload
 // slice aliases the stack's send buffer and is valid only during this
 // call — and the doorbell event does everything else in a batch.
+//
+//simlint:hotpath
 func (n *NIC) Transmit(pkt *wire.Packet) {
 	q := n.QueueFor(pkt.Flow)
 	frame := n.pool.Get(pkt.WireLen())
 	copy(frame[pkt.PayloadOffset():], pkt.Payload)
+	//lint:ignore hotalloc txBacklog is retained across doorbells, so its backing array regrows to the high-water batch size once and is reused thereafter
 	n.txBacklog = append(n.txBacklog, txSlot{q: q, pkt: pkt, frame: frame})
 	if !n.txDoorbellPending {
 		n.txDoorbellPending = true
@@ -421,6 +424,8 @@ func (n *NIC) Transmit(pkt *wire.Packet) {
 // handles queue-i slots), and a serial completion phase back in post
 // order (charges, traces, wire) — so the frames a run emits are
 // independent of both the queue count and GOMAXPROCS.
+//
+//simlint:hotpath
 func (n *NIC) txDoorbell() {
 	n.txDoorbellPending = false
 	m := n.cfg.Model
@@ -480,6 +485,7 @@ func (n *NIC) txDoorbell() {
 			n.lc.queues[qi].txBatch.Record(int64(c))
 		}
 	}
+	//lint:ignore hotalloc one closure per coalesced doorbell (not per packet), amortized over the whole batch
 	n.sim.ShardRun(len(n.queues), func(qi int) {
 		for i := range batch {
 			s := &batch[i]
@@ -517,6 +523,8 @@ func (n *NIC) txDoorbell() {
 // posts it on the queue's receive ring. A polled completion event —
 // scheduled once, however many frames land in the meantime — does parse,
 // verification, engines, and delivery in batches.
+//
+//simlint:hotpath
 func (n *NIC) DeliverFrame(frame wire.Frame) {
 	q := n.queues[0]
 	if flow, ok := wire.PeekFlow(frame); ok {
@@ -534,6 +542,7 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 		n.pool.Put(frame) // receive ring stalled: frame lost, TCP retransmits
 		return
 	}
+	//lint:ignore hotalloc rxBacklog is retained across polls (double-buffered with rxDefer), so regrowth amortizes to the high-water arrival burst
 	n.rxBacklog = append(n.rxBacklog, rxSlot{q: q, frame: frame})
 	if !n.rxPollPending {
 		n.rxPollPending = true
@@ -549,6 +558,8 @@ func (n *NIC) DeliverFrame(frame wire.Frame) {
 // arrival order, which keeps traces and metrics byte-identical at any
 // GOMAXPROCS and queue count (DESIGN.md invariant 13). Over-budget
 // leftovers re-schedule the poll at the same timestamp.
+//
+//simlint:hotpath
 func (n *NIC) rxPoll() {
 	n.rxPollPending = false
 	budget := n.cfg.RxPollBudget
@@ -569,6 +580,7 @@ func (n *NIC) rxPoll() {
 			backlog[w] = s
 			w++
 		} else {
+			//lint:ignore hotalloc deferred reuses rxDefer's retained backing array; regrowth amortizes to the worst over-budget burst
 			deferred = append(deferred, s)
 		}
 	}
@@ -578,6 +590,7 @@ func (n *NIC) rxPoll() {
 	}
 	// Parallel parse phase: the worker for queue i verifies queue-i frames
 	// (lane-disjoint pure work).
+	//lint:ignore hotalloc one closure per poll event (not per frame), amortized over the drained batch
 	n.sim.ShardRun(len(n.queues), func(qi int) {
 		for i := range batch {
 			s := &batch[i]
@@ -618,6 +631,7 @@ func (n *NIC) rxPoll() {
 	// A reentrant DeliverFrame during the merge (none today) appended past
 	// the batch; keep that tail too.
 	tail := n.rxBacklog[len(backlog):]
+	//lint:ignore hotalloc the reentrant-delivery tail is empty today; the append is a no-op unless a future stack calls DeliverFrame mid-merge
 	deferred = append(deferred, tail...)
 	n.rxBacklog = deferred
 	n.rxDefer = backlog[:0]
@@ -629,6 +643,8 @@ func (n *NIC) rxPoll() {
 
 // rxComplete finishes one parsed frame: checksum verdict, DMA/driver
 // charges, receive offload engines, and stack delivery. Serial-phase only.
+//
+//simlint:hotpath
 func (n *NIC) rxComplete(q *Queue, s rxSlot) {
 	m := n.cfg.Model
 	lg := n.cfg.Ledger
